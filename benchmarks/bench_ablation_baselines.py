@@ -1,0 +1,18 @@
+"""Bench: ablation — wavelet NN vs the paper's 'existing methods'."""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_print
+
+
+def test_ablation_baselines(benchmark, ctx):
+    result = run_and_print(benchmark, ctx, "abl-baselines")
+    rows = result.table("complexity").rows
+    by_model = {}
+    for bench, model, median, mx, nets in rows:
+        by_model.setdefault(model, []).append(median)
+    med = {m: float(np.median(v)) for m, v in by_model.items()}
+    # The global aggregate model cannot express within-trace dynamics;
+    # the wavelet NN must beat it decisively, and beat the linear model.
+    assert med["wavelet-nn (k=16)"] < med["global aggregate"]
+    assert med["wavelet-nn (k=16)"] < med["linear coeffs (k=16)"]

@@ -1,0 +1,12 @@
+"""Bench: ablation — magnitude vs order coefficient selection."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_ablation_selection(benchmark, ctx):
+    result = run_and_print(benchmark, ctx, "abl-selection")
+    rows = result.table("selection scheme").rows
+    wins = sum(1 for r in rows if r[4] == "magnitude")
+    # The paper claims magnitude always wins; allow a small minority of
+    # ties/upsets on our synthetic data but require a clear majority.
+    assert wins >= len(rows) * 0.7

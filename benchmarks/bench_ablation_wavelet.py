@@ -1,0 +1,12 @@
+"""Bench: ablation — wavelet family/convention choice."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_ablation_wavelet(benchmark, ctx):
+    result = run_and_print(benchmark, ctx, "abl-wavelet")
+    rows = result.table("per wavelet").rows
+    # All three transforms produce finite, usable accuracy.
+    assert len(rows) == 12
+    for row in rows:
+        assert row[2] < 60.0

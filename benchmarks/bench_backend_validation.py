@@ -1,0 +1,10 @@
+"""Bench: validation — interval model vs detailed cycle-level simulator."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_backend_validation(benchmark, ctx):
+    result = run_and_print(benchmark, ctx, "val-backend")
+    # The notes record directional agreement as "agree/checks".
+    agree, checks = result.notes.split(":")[1].strip().split(" ")[0].split("/")
+    assert int(agree) >= int(checks) * 0.75

@@ -1,0 +1,14 @@
+"""Bench: Figure 1 — workload dynamics variation across configurations."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig1(benchmark, ctx):
+    result = run_and_print(benchmark, ctx, "fig1")
+    rows = result.table("Trace ranges").rows
+    # 3 panels x 3 configurations.
+    assert len(rows) == 9
+    # The paper's point: the same benchmark's dynamics differ widely
+    # across configurations — weak CPI means must exceed strong ones.
+    gap = {r[2]: r[4] for r in rows if r[0] == "gap"}
+    assert gap["weak"] > gap["strong"]

@@ -1,0 +1,13 @@
+"""Bench: Figures 2-4 — Haar example and truncated reconstruction."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig4(benchmark, ctx):
+    result = run_and_print(benchmark, ctx, "fig4")
+    rows = result.table("reconstruction").rows
+    errors = [r[1] for r in rows]
+    # Fidelity improves monotonically with more coefficients, and all 64
+    # restore the trace exactly.
+    assert all(a >= b - 1e-9 for a, b in zip(errors, errors[1:]))
+    assert errors[-1] < 1e-12

@@ -1,0 +1,11 @@
+"""Bench: Figure 7 — magnitude-ranking stability across configurations."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig7(benchmark, ctx):
+    result = run_and_print(benchmark, ctx, "fig7")
+    rows = result.table("stability").rows
+    # Top-ranked coefficients remain largely consistent across configs.
+    gcc = next(r for r in rows if r[0] == "gcc")
+    assert gcc[1] > 0.5

@@ -1,0 +1,21 @@
+"""Bench: Figure 8 — the headline MSE boxplots (3 domains x 12 benchmarks).
+
+Paper reference points: CPI medians 0.5-8.6 % per benchmark, overall
+median 2.3 %, maxima ~30 %; power slightly worse overall; AVF much
+smaller.
+"""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig8(benchmark, ctx):
+    result = run_and_print(benchmark, ctx, "fig8")
+    overall = {r[0]: r[1] for r in result.table("Overall").rows}
+    # Shape checks against the paper's bands.
+    assert 1.0 < overall["cpi"] < 6.0        # paper: 2.3
+    assert 1.0 < overall["power"] < 6.0      # paper: 2.6
+    assert overall["avf"] < overall["cpi"] * 1.5   # reliability is best
+    cpi_rows = result.table("CPI MSE%").rows
+    medians = {r[0]: r[1] for r in cpi_rows}
+    assert len(medians) == len(ctx.scale.benchmarks)
+    assert max(medians.values()) < 15.0

@@ -1,0 +1,18 @@
+"""Bench: Figure 9 — MSE vs number of wavelet coefficients."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig9(benchmark, ctx):
+    result = run_and_print(benchmark, ctx, "fig9")
+    rows = result.table("Median MSE%").rows
+    ks = [r[0] for r in rows]
+    assert ks == [16, 32, 64, 96, 128]
+    # Accuracy improves with k in every domain...
+    for col in (1, 2, 3):
+        series = [r[col] for r in rows]
+        assert series[-1] <= series[0] + 1e-9
+    # ...with diminishing returns past 16: the first doubling must yield
+    # more improvement than the last.
+    cpi = [r[1] for r in rows]
+    assert (cpi[0] - cpi[1]) >= (cpi[3] - cpi[4]) - 0.5

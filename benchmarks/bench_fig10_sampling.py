@@ -1,0 +1,14 @@
+"""Bench: Figure 10 — MSE vs sampling resolution at k=16."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig10(benchmark, ctx):
+    result = run_and_print(benchmark, ctx, "fig10")
+    rows = result.table("Median MSE%").rows
+    assert [r[0] for r in rows] == [64, 128, 256, 512, 1024]
+    # MSE grows with resolution, but not dramatically (paper: "the
+    # increase of MSE is not significant").
+    cpi = [r[1] for r in rows]
+    assert cpi[-1] >= cpi[0] - 0.5
+    assert cpi[-1] < cpi[0] * 6 + 5.0

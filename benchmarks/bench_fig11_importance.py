@@ -1,0 +1,22 @@
+"""Bench: Figure 11 — parameter-importance star plots."""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig11(benchmark, ctx):
+    result = run_and_print(benchmark, ctx, "fig11")
+    freq = result.table("frequency").rows
+    headers = ("benchmark", "domain") + ctx.space.names
+    # One row per (benchmark, domain); frequency scores normalized.
+    assert len(freq) == len(ctx.scale.benchmarks) * 3
+    for row in freq:
+        scores = np.array(row[2:], dtype=float)
+        assert scores.max() <= 1.0 + 1e-9
+        assert scores.min() >= 0.0
+    # mcf is memory-bound: L2 parameters must dominate its CPI dynamics.
+    mcf_cpi = next(r for r in freq if r[0] == "mcf" and r[1] == "cpi")
+    scores = dict(zip(headers[2:], mcf_cpi[2:]))
+    top = max(scores, key=scores.get)
+    assert top in ("l2_size_kb", "l2_latency", "lsq_size", "fetch_width")

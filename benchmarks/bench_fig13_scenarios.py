@@ -1,0 +1,28 @@
+"""Bench: Figure 13 — threshold-based scenario classification (1-DS).
+
+Paper: directional asymmetry below ~10 % for every benchmark, domain
+and threshold.  Our reproduction matches that in the median but has a
+heavier tail in the power domain: piecewise-flat synthetic power traces
+can sit *on* a quartile threshold for a whole phase, so a small
+predicted-level shift flips that phase's samples wholesale.  The
+deviation is recorded in EXPERIMENTS.md.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig13(benchmark, ctx):
+    result = run_and_print(benchmark, ctx, "fig13")
+    values = []
+    for domain in ("CPI", "POWER", "AVF"):
+        rows = result.table(f"{domain} directional").rows
+        assert len(rows) == len(ctx.scale.benchmarks)
+        for row in rows:
+            values.extend(row[1:])
+    values = np.asarray(values, dtype=float)
+    assert np.all((values >= 0.0) & (values <= 100.0))
+    # Median within the paper's band; bounded tail (documented deviation).
+    assert np.median(values) < 10.0
+    assert values.max() < 40.0

@@ -1,0 +1,19 @@
+"""Bench: Figure 14 — simulation-vs-prediction scenario traces (bzip2)."""
+
+from benchmarks.conftest import run_and_print
+
+
+import numpy as np
+
+
+def test_fig14(benchmark, ctx):
+    result = run_and_print(benchmark, ctx, "fig14")
+    rows = result.table("Representative").rows
+    assert {r[0] for r in rows} == {"cpi", "power", "avf"}
+    ds_values = [row[3] for row in rows]
+    # Predicted traces closely track the simulated dynamics; the power
+    # trace's flat mid-level section weakens its Q2 agreement (the
+    # Figure 13 deviation documented in EXPERIMENTS.md).
+    for ds in ds_values:
+        assert ds > 65.0         # DS at the Q2 threshold, percent
+    assert np.mean(ds_values) > 85.0

@@ -1,0 +1,16 @@
+"""Bench: Figure 17 — forecasting DVM success/failure scenarios."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig17(benchmark, ctx):
+    result = run_and_print(benchmark, ctx, "fig17")
+    rows = result.table("compliance").rows
+    scen1 = next(r for r in rows if "scenario 1" in r[0])
+    scen2 = next(r for r in rows if "scenario 2" in r[0])
+    # Scenario 1 succeeds, scenario 2 fails, and the predictor agrees
+    # with the simulator on both.
+    assert scen1[4] == "meets target"
+    assert scen2[4] == "violates target"
+    assert scen1[5] == scen1[4]
+    assert scen2[5] == scen2[4]

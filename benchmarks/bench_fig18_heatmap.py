@@ -1,0 +1,17 @@
+"""Bench: Figure 18 — accuracy heat plots with DVM enabled."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig18(benchmark, ctx):
+    result = run_and_print(benchmark, ctx, "fig18")
+    iq_rows = result.table("iq_avf").rows
+    power_rows = result.table("power").rows
+    assert len(iq_rows) == len(ctx.scale.benchmarks)
+    assert len(power_rows) == len(ctx.scale.benchmarks)
+    # "In power domain, prediction accuracy is more uniform across
+    # benchmarks": the spread of medians is narrower than for IQ AVF.
+    iq_medians = [r[1] for r in iq_rows]
+    pw_medians = [r[1] for r in power_rows]
+    assert (max(pw_medians) - min(pw_medians)) < \
+        (max(iq_medians) - min(iq_medians)) * 2.0

@@ -1,0 +1,14 @@
+"""Bench: Figure 19 — IQ AVF accuracy across DVM thresholds."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig19(benchmark, ctx):
+    result = run_and_print(benchmark, ctx, "fig19")
+    raw_rows = result.table("raw MSE").rows
+    assert len(raw_rows) == len(ctx.scale.benchmarks)
+    # The paper's axis tops out at 0.5; allow generous headroom while
+    # still requiring small absolute errors at every threshold.
+    for row in raw_rows:
+        for value in row[1:]:
+            assert value < 2.0

@@ -1,0 +1,15 @@
+"""Bench: regenerate Tables 1 and 2 (machine config and design space)."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_table1(benchmark, ctx):
+    result = run_and_print(benchmark, ctx, "table1")
+    assert len(result.table("Baseline").rows) == 15
+
+
+def test_table2(benchmark, ctx):
+    result = run_and_print(benchmark, ctx, "table2")
+    rows = result.table("Design space").rows
+    assert len(rows) == 9
+    assert [r[0] for r in rows][0] == "fetch_width"

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures by running its
+experiment driver and printing the resulting rows.  The experiment
+context (datasets + fitted models) is shared across the whole benchmark
+session, so the expensive sweep and model fitting happen once.
+
+Scale is controlled with ``REPRO_SCALE`` (``quick`` default for bench
+runs, ``paper`` for the full reproduction; see
+:class:`repro.experiments.context.Scale`).
+"""
+
+import pytest
+
+from repro.experiments.context import ExperimentContext, Scale
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """Session-wide experiment context."""
+    return ExperimentContext(Scale.from_env(default="quick"))
+
+
+def run_and_print(benchmark, ctx, experiment_id):
+    """Run one experiment under pytest-benchmark and print its output."""
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id, ctx), rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    return result

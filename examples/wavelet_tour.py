@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""A tour of the wavelet machinery (the paper's Section 2 background).
+
+* verifies the paper's Figure 2 worked Haar example;
+* shows multiresolution approximations of a simulated gcc trace;
+* rebuilds the trace from growing coefficient subsets (Figure 4);
+* compares magnitude- vs order-based coefficient selection (Section 3).
+
+Run:  python examples/wavelet_tour.py
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis.render import sparkline
+from repro.core.selection import energy_captured, select_coefficients
+from repro.core.wavelets import MultiresolutionAnalysis
+
+
+def main():
+    print("== Figure 2 worked example ==")
+    data = [3, 4, 20, 25, 15, 5, 20, 3]
+    coeffs = repro.haar_dwt(data)
+    print(f"data:         {data}")
+    print(f"coefficients: {coeffs.tolist()}")
+    assert coeffs.tolist() == [11.875, 1.125, -9.5, -0.75, -0.5, -2.5, 5.0, 8.5]
+    print(f"inverse restores data: "
+          f"{np.allclose(repro.haar_idwt(coeffs), data)}")
+
+    print("\n== Multiresolution view of gcc (64 samples) ==")
+    trace = repro.Simulator().run("gcc", repro.baseline_config(), 64).trace("ipc")
+    mra = MultiresolutionAnalysis(trace)
+    for scale in (1, 3, 5):
+        approx = mra.approximation_at(scale)
+        print(f"scale {scale} ({approx.size:3d} points) |{sparkline(approx)}|")
+
+    print("\n== Figure 4: reconstruction from k coefficients ==")
+    for k in (1, 2, 4, 8, 16, 64):
+        approx = mra.reconstruct(range(k))
+        err = float(np.mean((approx - trace) ** 2))
+        print(f"k={k:2d}  mse={err:9.5f}  |{sparkline(approx)}|")
+
+    print("\n== Magnitude vs order selection (Section 3) ==")
+    for k in (4, 8, 16):
+        e_mag = energy_captured(mra.coefficients, k, "magnitude")
+        e_ord = energy_captured(mra.coefficients, k, "order")
+        idx, _ = select_coefficients(mra.coefficients, k, "magnitude")
+        print(f"k={k:2d}: magnitude captures {100*e_mag:5.1f}% of energy "
+              f"(order: {100*e_ord:5.1f}%), indices {idx.tolist()}")
+
+
+if __name__ == "__main__":
+    main()

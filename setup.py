@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+that environments without the ``wheel`` package (no PEP 517 editable
+builds) can still ``pip install -e . --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

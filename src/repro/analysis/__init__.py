@@ -1,0 +1,34 @@
+"""Result analysis and terminal rendering.
+
+``stats``
+    Aggregation helpers turning per-configuration errors into the
+    paper's boxplot/median summaries.
+``cluster``
+    From-scratch agglomerative clustering for the Figure 18 heat-map
+    dendrograms.
+``render``
+    ASCII tables, sparklines, boxplots, star plots and heat maps — the
+    offline stand-ins for the paper's figures.
+"""
+
+from repro.analysis.cluster import agglomerative_cluster, leaf_order
+from repro.analysis.stats import domain_summary, benchmark_table
+from repro.analysis.render import (
+    render_table,
+    sparkline,
+    render_boxplot_rows,
+    render_heatmap,
+    render_star,
+)
+
+__all__ = [
+    "agglomerative_cluster",
+    "leaf_order",
+    "domain_summary",
+    "benchmark_table",
+    "render_table",
+    "sparkline",
+    "render_boxplot_rows",
+    "render_heatmap",
+    "render_star",
+]

@@ -1,0 +1,135 @@
+"""Agglomerative hierarchical clustering (for Figure 18's dendrograms).
+
+The paper's Figure 18 heat plots carry "a dendrogram added to the top
+[whose] U-shaped lines connect ... benchmarks, [with] the height of each
+U represent[ing] the distance between the two objects".  This module
+implements average-linkage agglomerative clustering from scratch and
+derives the dendrogram leaf ordering used to arrange heat-map columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._validation import as_2d_float_array
+from repro.errors import ReproError
+
+#: Supported linkage criteria.
+LINKAGES = ("average", "single", "complete")
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One merge step: clusters ``left`` and ``right`` join at ``height``.
+
+    Cluster ids < n refer to leaves; ids >= n refer to earlier merges
+    (id n + i is the cluster created by merge step ``i``), mirroring the
+    SciPy linkage-matrix convention.
+    """
+
+    left: int
+    right: int
+    height: float
+    size: int
+
+
+def _pairwise_distances(X: np.ndarray) -> np.ndarray:
+    diff = X[:, None, :] - X[None, :, :]
+    return np.sqrt(np.sum(diff * diff, axis=2))
+
+
+def agglomerative_cluster(data, linkage: str = "average") -> List[Merge]:
+    """Cluster rows of ``data`` bottom-up; returns the merge sequence.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` feature matrix (one row per object, e.g. one
+        benchmark's per-configuration error vector).
+    linkage:
+        ``"average"`` (UPGMA, the default), ``"single"`` or
+        ``"complete"``.
+    """
+    if linkage not in LINKAGES:
+        raise ReproError(f"linkage must be one of {LINKAGES}, got {linkage!r}")
+    X = as_2d_float_array(data, name="data")
+    n = X.shape[0]
+    if n < 2:
+        raise ReproError("clustering needs at least two objects")
+    dist = _pairwise_distances(X)
+    np.fill_diagonal(dist, np.inf)
+
+    # active[i] -> (cluster id, member count); distances kept in a
+    # shrinking matrix indexed by position.
+    ids = list(range(n))
+    sizes = [1] * n
+    merges: List[Merge] = []
+    next_id = n
+    while len(ids) > 1:
+        pos = np.unravel_index(np.argmin(dist), dist.shape)
+        i, j = min(pos), max(pos)
+        height = float(dist[i, j])
+        merges.append(Merge(left=ids[i], right=ids[j], height=height,
+                            size=sizes[i] + sizes[j]))
+        # Update distances of the merged cluster (placed at position i).
+        for k in range(len(ids)):
+            if k in (i, j):
+                continue
+            if linkage == "average":
+                new_d = (dist[i, k] * sizes[i] + dist[j, k] * sizes[j]) / (
+                    sizes[i] + sizes[j]
+                )
+            elif linkage == "single":
+                new_d = min(dist[i, k], dist[j, k])
+            else:
+                new_d = max(dist[i, k], dist[j, k])
+            dist[i, k] = dist[k, i] = new_d
+        sizes[i] += sizes[j]
+        ids[i] = next_id
+        next_id += 1
+        # Remove row/column j.
+        dist = np.delete(np.delete(dist, j, axis=0), j, axis=1)
+        del ids[j]
+        del sizes[j]
+    return merges
+
+
+def leaf_order(merges: Sequence[Merge], n_leaves: int) -> List[int]:
+    """Dendrogram left-to-right leaf ordering.
+
+    Similar objects end up adjacent — the ordering used for the heat-map
+    columns in Figure 18.
+    """
+    children = {}
+    for step, m in enumerate(merges):
+        children[n_leaves + step] = (m.left, m.right)
+
+    def expand(node: int) -> List[int]:
+        if node < n_leaves:
+            return [node]
+        left, right = children[node]
+        return expand(left) + expand(right)
+
+    root = n_leaves + len(merges) - 1
+    order = expand(root)
+    if sorted(order) != list(range(n_leaves)):
+        raise ReproError("merge sequence does not cover all leaves")
+    return order
+
+
+def dendrogram_text(merges: Sequence[Merge], labels: Sequence[str],
+                    width: int = 60) -> str:
+    """A compact text rendering of the merge sequence (heights scaled)."""
+    if not merges:
+        return ""
+    max_h = max(m.height for m in merges) or 1.0
+    lines = []
+    for m in merges:
+        bar = "-" * max(int(m.height / max_h * width), 1)
+        left = labels[m.left] if m.left < len(labels) else f"<{m.left}>"
+        right = labels[m.right] if m.right < len(labels) else f"<{m.right}>"
+        lines.append(f"{left:>12s} + {right:<12s} |{bar} {m.height:.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""ASCII rendering of the paper's figures for terminal output.
+
+No plotting backend is available offline, so every figure is rendered
+as text: aligned tables, Unicode sparklines for traces, horizontal
+boxplots for Figure 8, shade-character heat maps for Figures 7/18 and
+spoke tables for the Figure 11 star plots.  Each renderer takes plain
+data so it is trivially testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.metrics import BoxplotStats
+from repro.errors import ReproError
+
+#: Eight-level block characters for sparklines and heat maps.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+_SHADES = " ░▒▓█"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 float_fmt: str = "{:.2f}") -> str:
+    """Fixed-width table with auto-sized columns."""
+    def fmt(cell):
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """One-line Unicode sparkline of a trace."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    lo = float(arr.min()) if lo is None else lo
+    hi = float(arr.max()) if hi is None else hi
+    if hi <= lo:
+        return _BLOCKS[4] * arr.size
+    scaled = np.clip((arr - lo) / (hi - lo) * (len(_BLOCKS) - 2), 0,
+                     len(_BLOCKS) - 2)
+    return "".join(_BLOCKS[int(s) + 1] for s in scaled)
+
+
+def render_trace_pair(actual: Sequence[float], predicted: Sequence[float],
+                      label: str = "") -> str:
+    """Simulation-vs-prediction sparklines on a shared scale (Figure 14)."""
+    a = np.asarray(list(actual), dtype=float)
+    p = np.asarray(list(predicted), dtype=float)
+    lo = float(min(a.min(), p.min()))
+    hi = float(max(a.max(), p.max()))
+    return (f"{label} simulation  |{sparkline(a, lo, hi)}|\n"
+            f"{label} prediction  |{sparkline(p, lo, hi)}|  "
+            f"[{lo:.3g}, {hi:.3g}]")
+
+
+def render_boxplot_rows(stats_by_label: Dict[str, BoxplotStats],
+                        width: int = 50,
+                        axis_max: Optional[float] = None) -> str:
+    """Horizontal ASCII boxplots, one row per label (Figure 8)."""
+    if not stats_by_label:
+        raise ReproError("no boxplot rows to render")
+    hi = axis_max or max(
+        max(s.whisker_high, *(s.outliers or (0.0,)))
+        for s in stats_by_label.values()
+    ) or 1.0
+
+    def col(x: float) -> int:
+        return int(np.clip(x / hi * (width - 1), 0, width - 1))
+
+    lines = []
+    for label in sorted(stats_by_label):
+        s = stats_by_label[label]
+        row = [" "] * width
+        for x in range(col(s.whisker_low), col(s.whisker_high) + 1):
+            row[x] = "-"
+        for x in range(col(s.q1), col(s.q3) + 1):
+            row[x] = "="
+        row[col(s.median)] = "|"
+        for out in s.outliers:
+            row[col(out)] = "o"
+        lines.append(f"{label:>10s} [{''.join(row)}] med {s.median:6.2f}")
+    lines.append(f"{'':>10s}  0{'':>{width - 8}}{hi:.1f}")
+    return "\n".join(lines)
+
+
+def render_heatmap(matrix, row_labels: Sequence[str],
+                   col_labels: Sequence[str],
+                   vmax: Optional[float] = None) -> str:
+    """Shade-character heat map (Figures 7 and 18)."""
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2:
+        raise ReproError(f"heatmap needs a 2-D matrix, got shape {m.shape}")
+    if len(row_labels) != m.shape[0] or len(col_labels) != m.shape[1]:
+        raise ReproError("label counts do not match matrix shape")
+    vmax = vmax or (float(m.max()) or 1.0)
+    lines = ["      " + " ".join(f"{c[:4]:>4s}" for c in col_labels)]
+    for label, row in zip(row_labels, m):
+        cells = []
+        for v in row:
+            shade = _SHADES[int(np.clip(v / vmax * (len(_SHADES) - 1), 0,
+                                        len(_SHADES) - 1))]
+            cells.append(shade * 4)
+        lines.append(f"{label[:5]:>5s} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_star(scores_by_parameter: Dict[str, float], width: int = 30) -> str:
+    """Text 'star plot': one spoke row per parameter (Figure 11)."""
+    if not scores_by_parameter:
+        raise ReproError("no star-plot spokes to render")
+    peak = max(scores_by_parameter.values()) or 1.0
+    lines = []
+    for name, score in scores_by_parameter.items():
+        bar = "*" * max(int(score / peak * width), 0)
+        lines.append(f"{name:>12s} |{bar:<{width}s}| {score:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Aggregation helpers for experiment results.
+
+Bridges raw per-configuration error arrays and the summaries the paper
+reports: per-benchmark boxplot statistics (Figure 8), overall medians
+("an overall median error across all benchmarks of 2.3 percent") and
+tabulated sweeps (Figures 9/10/19).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.metrics import BoxplotStats, boxplot_stats
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class DomainSummary:
+    """Per-domain accuracy summary across benchmarks."""
+
+    domain: str
+    per_benchmark: Dict[str, BoxplotStats]
+    overall_median: float
+    overall_max: float
+
+    def benchmark_median(self, benchmark: str) -> float:
+        """Median error of one benchmark."""
+        if benchmark not in self.per_benchmark:
+            raise ReproError(
+                f"no data for benchmark {benchmark!r}; have "
+                f"{sorted(self.per_benchmark)}"
+            )
+        return self.per_benchmark[benchmark].median
+
+    @property
+    def best_benchmark(self) -> str:
+        """Benchmark with the lowest median error."""
+        return min(self.per_benchmark, key=lambda b: self.per_benchmark[b].median)
+
+    @property
+    def worst_benchmark(self) -> str:
+        """Benchmark with the highest median error."""
+        return max(self.per_benchmark, key=lambda b: self.per_benchmark[b].median)
+
+
+def domain_summary(domain: str,
+                   errors_by_benchmark: Dict[str, Sequence[float]],
+                   ) -> DomainSummary:
+    """Summarize per-configuration errors for one metric domain."""
+    if not errors_by_benchmark:
+        raise ReproError("errors_by_benchmark is empty")
+    per_benchmark = {
+        bench: boxplot_stats(np.asarray(errors, dtype=float))
+        for bench, errors in errors_by_benchmark.items()
+    }
+    pooled = np.concatenate([
+        np.asarray(errors, dtype=float)
+        for errors in errors_by_benchmark.values()
+    ])
+    return DomainSummary(
+        domain=domain,
+        per_benchmark=per_benchmark,
+        overall_median=float(np.median(pooled)),
+        overall_max=float(pooled.max()),
+    )
+
+
+def benchmark_table(summary: DomainSummary) -> List[Tuple[str, float, float, float, float]]:
+    """Rows ``(benchmark, median, q1, q3, whisker_high)`` for rendering."""
+    rows = []
+    for bench in sorted(summary.per_benchmark):
+        s = summary.per_benchmark[bench]
+        rows.append((bench, s.median, s.q1, s.q3, s.whisker_high))
+    return rows
+
+
+def sweep_table(sweep_values: Sequence, medians_by_domain: Dict[str, Sequence[float]],
+                ) -> List[Tuple]:
+    """Rows for a parameter sweep (Figures 9/10/19): one row per value."""
+    n = len(sweep_values)
+    for domain, series in medians_by_domain.items():
+        if len(series) != n:
+            raise ReproError(
+                f"domain {domain!r} has {len(series)} entries for "
+                f"{n} sweep values"
+            )
+    domains = sorted(medians_by_domain)
+    rows = []
+    for i, value in enumerate(sweep_values):
+        rows.append(tuple([value] + [medians_by_domain[d][i] for d in domains]))
+    return rows

@@ -1,0 +1,139 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list-benchmarks``
+    The twelve synthetic SPEC CPU 2000 workloads.
+``list-experiments``
+    Every registered paper table/figure driver and ablation.
+``simulate``
+    Run one (benchmark, configuration) pair and print trace summaries
+    with sparklines.
+``run-experiment``
+    Execute one experiment driver and print its tables.
+``simpoint``
+    Representative-interval selection for a benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.uarch.params import VARIED_PARAMETERS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Workload-dynamics-aware microarchitecture DSE "
+                    "(MICRO 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-benchmarks", help="list the synthetic workloads")
+    sub.add_parser("list-experiments", help="list paper-figure experiments")
+
+    sim = sub.add_parser("simulate", help="simulate one benchmark/config")
+    sim.add_argument("benchmark")
+    sim.add_argument("--samples", type=int, default=128)
+    sim.add_argument("--backend", choices=("interval", "detailed"),
+                     default="interval")
+    sim.add_argument("--dvm", action="store_true",
+                     help="enable dynamic vulnerability management")
+    sim.add_argument("--dvm-threshold", type=float, default=0.3)
+    for name in VARIED_PARAMETERS:
+        sim.add_argument(f"--{name.replace('_', '-')}", type=int,
+                         default=None, dest=name)
+
+    exp = sub.add_parser("run-experiment", help="run one experiment driver")
+    exp.add_argument("experiment_id")
+    exp.add_argument("--scale", choices=("paper", "quick"), default="quick")
+
+    sp = sub.add_parser("simpoint", help="pick a representative interval")
+    sp.add_argument("benchmark")
+    sp.add_argument("--intervals", type=int, default=64)
+    return parser
+
+
+def _cmd_list_benchmarks(out) -> int:
+    from repro.workloads.spec2000 import list_benchmarks
+
+    for model in list_benchmarks():
+        out.write(f"{model.name:10s} {model.n_phases} phases  "
+                  f"{model.description}\n")
+    return 0
+
+
+def _cmd_list_experiments(out) -> int:
+    from repro.experiments import get_experiment, list_experiments
+
+    for eid in list_experiments():
+        reg = get_experiment(eid)
+        out.write(f"{eid:15s} {reg.paper_reference:12s} {reg.title}\n")
+    return 0
+
+
+def _cmd_simulate(args, out) -> int:
+    from repro.analysis.render import sparkline
+    from repro.uarch.params import baseline_config
+    from repro.uarch.simulator import Simulator
+
+    overrides = {name: getattr(args, name) for name in VARIED_PARAMETERS
+                 if getattr(args, name) is not None}
+    config = baseline_config(**overrides)
+    if args.dvm:
+        config = config.with_dvm(True, args.dvm_threshold)
+    sim = Simulator(backend=args.backend)
+    result = sim.run(args.benchmark, config, n_samples=args.samples)
+    out.write(f"{args.benchmark} on:\n{config.describe()}\n\n")
+    for domain in ("cpi", "power", "avf", "iq_avf"):
+        trace = result.trace(domain)
+        out.write(f"{domain:>7s} mean {trace.mean():8.3f}  "
+                  f"[{trace.min():8.3f}, {trace.max():8.3f}]  "
+                  f"|{sparkline(trace[:96])}|\n")
+    return 0
+
+
+def _cmd_run_experiment(args, out) -> int:
+    import os
+
+    os.environ["REPRO_SCALE"] = args.scale
+    from repro.experiments import run_experiment
+    from repro.experiments.context import ExperimentContext, Scale
+
+    ctx = ExperimentContext(Scale.from_env())
+    result = run_experiment(args.experiment_id, ctx)
+    out.write(result.render() + "\n")
+    return 0
+
+
+def _cmd_simpoint(args, out) -> int:
+    from repro.workloads.simpoint import pick_simpoint
+    from repro.workloads.spec2000 import get_benchmark
+
+    result = pick_simpoint(get_benchmark(args.benchmark),
+                           n_intervals=args.intervals)
+    out.write(f"{args.benchmark}: representative interval "
+              f"{result.representative_interval} of {args.intervals} "
+              f"({result.n_clusters} phases, dominant cluster weight "
+              f"{result.cluster_weights[result.dominant_cluster]:.2f})\n")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    if args.command == "list-benchmarks":
+        return _cmd_list_benchmarks(out)
+    if args.command == "list-experiments":
+        return _cmd_list_experiments(out)
+    if args.command == "simulate":
+        return _cmd_simulate(args, out)
+    if args.command == "run-experiment":
+        return _cmd_run_experiment(args, out)
+    if args.command == "simpoint":
+        return _cmd_simpoint(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,69 @@
+"""The paper's primary contribution: wavelet neural networks for
+predicting workload dynamics across a microarchitecture design space.
+
+Submodules
+----------
+``wavelets``
+    Haar discrete wavelet transform in the paper's average/half-difference
+    convention, the orthonormal convention, multilevel analysis, partial
+    reconstruction, and a Daubechies-4 extension.
+``selection``
+    Magnitude- and order-based wavelet coefficient selection (Section 3 of
+    the paper) plus ranking-stability analysis (Figure 7).
+``regression_tree``
+    CART regression trees used both to seed RBF centers (Orr et al. 2000)
+    and to derive parameter importance (Figure 11).
+``rbf``
+    Tree-seeded Gaussian radial basis function networks.
+``predictor``
+    :class:`~repro.core.predictor.WaveletNeuralPredictor` — one RBF network
+    per retained wavelet coefficient, inverse transform to synthesize the
+    predicted dynamics (Figure 6 pipeline).
+``baselines``
+    The "existing methods" the paper contrasts with: linear models and
+    monolithic/aggregate-only neural models.
+``metrics``
+    MSE%, directional symmetry, threshold scenarios, boxplot statistics.
+"""
+
+from repro.core.wavelets import (
+    dwt,
+    idwt,
+    haar_dwt,
+    haar_idwt,
+    MultiresolutionAnalysis,
+)
+from repro.core.selection import (
+    rank_by_magnitude,
+    select_coefficients,
+    truncate_coefficients,
+    consensus_ranking,
+)
+from repro.core.regression_tree import RegressionTree
+from repro.core.rbf import RBFNetwork
+from repro.core.predictor import WaveletNeuralPredictor
+from repro.core.metrics import (
+    mse,
+    nmse_percent,
+    directional_symmetry,
+    quartile_thresholds,
+)
+
+__all__ = [
+    "dwt",
+    "idwt",
+    "haar_dwt",
+    "haar_idwt",
+    "MultiresolutionAnalysis",
+    "rank_by_magnitude",
+    "select_coefficients",
+    "truncate_coefficients",
+    "consensus_ranking",
+    "RegressionTree",
+    "RBFNetwork",
+    "WaveletNeuralPredictor",
+    "mse",
+    "nmse_percent",
+    "directional_symmetry",
+    "quartile_thresholds",
+]

@@ -1,0 +1,204 @@
+"""Baseline predictive models the paper positions itself against.
+
+Section 1 and Section 7 of the paper contrast the wavelet neural network
+with two families of "existing methods":
+
+* **linear regression models** (Joseph et al. HPCA'06) — "usually
+  inadequate for modeling the non-linear dynamics of real-world
+  workloads";
+* **monolithic global neural networks** (Ipek et al. ASPLOS'06, Joseph et
+  al. MICRO'06) — accurate for *aggregated* statistics (e.g. whole-run
+  CPI) but "incapable of capturing and revealing program dynamics".
+
+Three baselines are provided with the same ``fit(X, traces)`` /
+``predict(X)`` interface as
+:class:`~repro.core.predictor.WaveletNeuralPredictor`, so the ablation
+benchmarks can swap them in directly:
+
+:class:`LinearCoefficientModel`
+    The paper's pipeline with every RBF network replaced by ordinary
+    least squares — isolates the value of non-linear modelling.
+:class:`GlobalAggregateModel`
+    One RBF network predicting only the aggregate (trace mean); its
+    "dynamics" prediction is a flat line — the monolithic global model.
+:class:`PerSampleModel`
+    One RBF network per *time sample* (no wavelet domain) — the naive
+    dynamic extension of global models; costs ``n_samples`` networks and
+    chases unpredictable high-frequency content.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro._validation import as_2d_float_array
+from repro.errors import ModelError, NotFittedError
+from repro.core import metrics as _metrics
+from repro.core.rbf import RBFNetwork
+from repro.core.selection import consensus_ranking
+from repro.core.wavelets import dwt, idwt
+
+
+class _DynamicsModel:
+    """Shared scoring helper for all dynamics models."""
+
+    def predict(self, X) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def score(self, X, traces,
+              metric: Callable[[Sequence[float], Sequence[float]], float] = _metrics.nmse_percent,
+              ) -> np.ndarray:
+        """Per-configuration errors under ``metric`` (default MSE%)."""
+        traces = as_2d_float_array(traces, name="traces")
+        preds = self.predict(X)
+        if preds.shape != traces.shape:
+            raise ModelError(
+                f"traces shape {traces.shape} does not match predictions {preds.shape}"
+            )
+        return np.array([metric(a, p) for a, p in zip(traces, preds)])
+
+
+class LinearCoefficientModel(_DynamicsModel):
+    """Wavelet pipeline with per-coefficient *linear* regression.
+
+    Identical decomposition / selection / reconstruction to the paper's
+    model, but each retained coefficient is fitted with ordinary least
+    squares (plus intercept).  Whatever accuracy gap remains versus
+    :class:`~repro.core.predictor.WaveletNeuralPredictor` is attributable
+    to non-linearity in the config-to-coefficient response.
+    """
+
+    def __init__(self, n_coefficients: int = 16, wavelet: str = "haar",
+                 convention: str = "paper", ridge: float = 1e-8):
+        if n_coefficients < 1:
+            raise ModelError(f"n_coefficients must be >= 1, got {n_coefficients}")
+        self.n_coefficients = n_coefficients
+        self.wavelet = wavelet
+        self.convention = convention
+        self.ridge = ridge
+        self.selected_indices_: Optional[np.ndarray] = None
+        self.coef_: Optional[np.ndarray] = None       # (k, n_features + 1)
+        self.n_samples_: Optional[int] = None
+        self.n_features_: Optional[int] = None
+
+    def fit(self, X, traces) -> "LinearCoefficientModel":
+        X = as_2d_float_array(X, name="X")
+        traces = as_2d_float_array(traces, name="traces")
+        if X.shape[0] != traces.shape[0]:
+            raise ModelError("X and traces disagree on configuration count")
+        coeffs = np.vstack([
+            dwt(row, wavelet=self.wavelet, convention=self.convention)
+            for row in traces
+        ])
+        self.n_samples_ = traces.shape[1]
+        self.n_features_ = X.shape[1]
+        self.selected_indices_ = np.sort(
+            consensus_ranking(coeffs)[:min(self.n_coefficients, self.n_samples_)]
+        )
+        design = np.hstack([X, np.ones((X.shape[0], 1))])
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        targets = coeffs[:, self.selected_indices_]
+        self.coef_ = np.linalg.solve(gram, design.T @ targets).T
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self.coef_ is None:
+            raise NotFittedError("LinearCoefficientModel used before fit")
+        X = as_2d_float_array(X, name="X")
+        design = np.hstack([X, np.ones((X.shape[0], 1))])
+        predicted = design @ self.coef_.T
+        out = np.zeros((X.shape[0], self.n_samples_), dtype=float)
+        out[:, self.selected_indices_] = predicted
+        return np.vstack([
+            idwt(row, wavelet=self.wavelet, convention=self.convention)
+            for row in out
+        ])
+
+
+class GlobalAggregateModel(_DynamicsModel):
+    """Monolithic global model: predicts only the aggregate statistic.
+
+    One RBF network maps the design vector to the trace *mean*; the
+    dynamics "prediction" is that mean replicated across all samples.
+    This is what Section 1 calls the "global model" whose inability to
+    reveal fine-grain behaviour motivates the paper.
+    """
+
+    def __init__(self, rbf_max_depth: int = 8, rbf_min_samples_leaf: int = 3,
+                 rbf_radius_scale: float = 4.0):
+        self.rbf_max_depth = rbf_max_depth
+        self.rbf_min_samples_leaf = rbf_min_samples_leaf
+        self.rbf_radius_scale = rbf_radius_scale
+        self.net_: Optional[RBFNetwork] = None
+        self.n_samples_: Optional[int] = None
+
+    def fit(self, X, traces) -> "GlobalAggregateModel":
+        X = as_2d_float_array(X, name="X")
+        traces = as_2d_float_array(traces, name="traces")
+        if X.shape[0] != traces.shape[0]:
+            raise ModelError("X and traces disagree on configuration count")
+        self.n_samples_ = traces.shape[1]
+        self.net_ = RBFNetwork(
+            max_depth=self.rbf_max_depth,
+            min_samples_leaf=self.rbf_min_samples_leaf,
+            radius_scale=self.rbf_radius_scale,
+        ).fit(X, traces.mean(axis=1))
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self.net_ is None:
+            raise NotFittedError("GlobalAggregateModel used before fit")
+        agg = self.net_.predict(X)
+        return np.repeat(agg[:, None], self.n_samples_, axis=1)
+
+    def predict_aggregate(self, X) -> np.ndarray:
+        """The aggregate (mean) predictions themselves."""
+        if self.net_ is None:
+            raise NotFittedError("GlobalAggregateModel used before fit")
+        return self.net_.predict(X)
+
+
+class PerSampleModel(_DynamicsModel):
+    """One RBF network per time sample, no wavelet domain.
+
+    The brute-force way to extend global models to dynamics.  Compared to
+    the wavelet predictor it needs ``n_samples`` networks instead of
+    ``k=16`` and regresses every sample's noise individually.
+    """
+
+    def __init__(self, rbf_max_depth: int = 4, rbf_min_samples_leaf: int = 8,
+                 rbf_radius_scale: float = 4.0):
+        self.rbf_max_depth = rbf_max_depth
+        self.rbf_min_samples_leaf = rbf_min_samples_leaf
+        self.rbf_radius_scale = rbf_radius_scale
+        self.nets_: Optional[list] = None
+
+    def fit(self, X, traces) -> "PerSampleModel":
+        X = as_2d_float_array(X, name="X")
+        traces = as_2d_float_array(traces, name="traces")
+        if X.shape[0] != traces.shape[0]:
+            raise ModelError("X and traces disagree on configuration count")
+        self.nets_ = [
+            RBFNetwork(
+                max_depth=self.rbf_max_depth,
+                min_samples_leaf=self.rbf_min_samples_leaf,
+                radius_scale=self.rbf_radius_scale,
+            ).fit(X, traces[:, j])
+            for j in range(traces.shape[1])
+        ]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self.nets_ is None:
+            raise NotFittedError("PerSampleModel used before fit")
+        X = as_2d_float_array(X, name="X")
+        return np.column_stack([net.predict(X) for net in self.nets_])
+
+    @property
+    def n_networks(self) -> int:
+        """Number of fitted networks (equals the trace length)."""
+        if self.nets_ is None:
+            raise NotFittedError("PerSampleModel used before fit")
+        return len(self.nets_)

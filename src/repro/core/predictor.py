@@ -1,0 +1,240 @@
+"""The paper's hybrid neuro-wavelet dynamics predictor (Figure 6).
+
+Pipeline (Section 2.3):
+
+1. *Decompose* every training trace with the discrete wavelet transform.
+2. *Select* a small set of important coefficients (magnitude-based by
+   default; the ranking is taken from the consensus over the training
+   configurations, which Figure 7 shows to be stable).
+3. *Fit one RBF network per retained coefficient*, each mapping the full
+   microarchitecture design vector to that coefficient's value.
+4. *Predict* unseen configurations coefficient-by-coefficient, zero the
+   unmodelled coefficients, and *reconstruct* the time-domain dynamics
+   with the inverse wavelet transform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro._validation import as_2d_float_array
+from repro.errors import ModelError, NotFittedError
+from repro.core import metrics as _metrics
+from repro.core.rbf import RBFNetwork
+from repro.core.selection import SCHEMES, consensus_ranking
+from repro.core.wavelets import WAVELETS, CONVENTIONS, dwt, idwt
+
+
+@dataclass(frozen=True)
+class PredictorSettings:
+    """Hyper-parameters of :class:`WaveletNeuralPredictor`.
+
+    ``n_coefficients=16`` is the paper's cost/accuracy sweet spot
+    (Figure 9); ``scheme="magnitude"`` is the selection scheme the paper
+    adopts (Section 3).
+    """
+
+    n_coefficients: int = 16
+    scheme: str = "magnitude"
+    wavelet: str = "haar"
+    convention: str = "paper"
+    standardize_targets: bool = True
+    # RBF hyper-parameters tuned on the paper's design space: broad,
+    # strongly-overlapping units (radius_scale 4 on [0,1]-normalized
+    # inputs) with GCV-ridge regularization generalize much better on
+    # 200-point training sets than tight per-box radii.
+    rbf_max_depth: int = 8
+    rbf_min_samples_leaf: int = 3
+    rbf_radius_scale: float = 4.0
+    rbf_solver: str = "ridge_gcv"
+
+    def validate(self) -> None:
+        if self.n_coefficients < 1:
+            raise ModelError(
+                f"n_coefficients must be >= 1, got {self.n_coefficients}"
+            )
+        if self.scheme not in SCHEMES:
+            raise ModelError(
+                f"scheme must be one of {SCHEMES}, got {self.scheme!r}"
+            )
+        if self.wavelet not in WAVELETS:
+            raise ModelError(
+                f"wavelet must be one of {WAVELETS}, got {self.wavelet!r}"
+            )
+        if self.convention not in CONVENTIONS:
+            raise ModelError(
+                f"convention must be one of {CONVENTIONS}, got {self.convention!r}"
+            )
+
+
+class WaveletNeuralPredictor:
+    """Predict workload dynamics at unexplored design points.
+
+    Parameters
+    ----------
+    settings:
+        A :class:`PredictorSettings`; keyword arguments may be passed
+        directly instead.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(1)
+    >>> X = rng.uniform(size=(64, 3))
+    >>> t = np.linspace(0, 1, 32)
+    >>> traces = np.array([np.sin(6 * t + 2 * x[0]) * (1 + x[1]) for x in X])
+    >>> model = WaveletNeuralPredictor(n_coefficients=8).fit(X, traces)
+    >>> pred = model.predict(X[:2])
+    >>> pred.shape
+    (2, 32)
+    """
+
+    def __init__(self, settings: Optional[PredictorSettings] = None, **kwargs):
+        if settings is None:
+            settings = PredictorSettings(**kwargs)
+        elif kwargs:
+            raise ModelError("pass either a settings object or keyword arguments, not both")
+        settings.validate()
+        self.settings = settings
+        # Fitted state
+        self.selected_indices_: Optional[np.ndarray] = None
+        self.models_: Dict[int, RBFNetwork] = {}
+        self.n_samples_: Optional[int] = None
+        self.n_features_: Optional[int] = None
+        self._target_mean: Dict[int, float] = {}
+        self._target_scale: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def fit(self, X, traces) -> "WaveletNeuralPredictor":
+        """Fit per-coefficient RBF networks.
+
+        Parameters
+        ----------
+        X:
+            ``(n_configs, n_params)`` design matrix (normalized parameter
+            encodings; see :meth:`repro.dse.space.DesignSpace.encode`).
+        traces:
+            ``(n_configs, n_samples)`` observed dynamics; ``n_samples``
+            must be a power of two.
+        """
+        X = as_2d_float_array(X, name="X")
+        traces = as_2d_float_array(traces, name="traces")
+        if X.shape[0] != traces.shape[0]:
+            raise ModelError(
+                f"X and traces disagree on configuration count: "
+                f"{X.shape[0]} != {traces.shape[0]}"
+            )
+        s = self.settings
+        n_samples = traces.shape[1]
+        if s.n_coefficients > n_samples:
+            raise ModelError(
+                f"n_coefficients={s.n_coefficients} exceeds trace length {n_samples}"
+            )
+        coeffs = np.vstack([
+            dwt(row, wavelet=s.wavelet, convention=s.convention) for row in traces
+        ])
+        if s.scheme == "order":
+            selected = np.arange(s.n_coefficients)
+        else:
+            selected = np.sort(consensus_ranking(coeffs)[:s.n_coefficients])
+        self.selected_indices_ = selected
+        self.n_samples_ = n_samples
+        self.n_features_ = X.shape[1]
+        self.models_ = {}
+        self._target_mean = {}
+        self._target_scale = {}
+        for idx in selected:
+            y = coeffs[:, idx]
+            mean, scale = 0.0, 1.0
+            if s.standardize_targets:
+                mean = float(y.mean())
+                scale = float(y.std())
+                if scale < 1e-12:
+                    scale = 1.0
+            net = RBFNetwork(
+                max_depth=s.rbf_max_depth,
+                min_samples_leaf=s.rbf_min_samples_leaf,
+                radius_scale=s.rbf_radius_scale,
+                solver=s.rbf_solver,
+            ).fit(X, (y - mean) / scale)
+            self.models_[int(idx)] = net
+            self._target_mean[int(idx)] = mean
+            self._target_scale[int(idx)] = scale
+        return self
+
+    # ------------------------------------------------------------------
+    def predict_coefficients(self, X) -> np.ndarray:
+        """Predicted full coefficient vectors (unmodelled entries zero)."""
+        self._check_fitted()
+        X = as_2d_float_array(X, name="X")
+        if X.shape[1] != self.n_features_:
+            raise ModelError(
+                f"X has {X.shape[1]} features, model was fitted with {self.n_features_}"
+            )
+        out = np.zeros((X.shape[0], self.n_samples_), dtype=float)
+        for idx, net in self.models_.items():
+            out[:, idx] = net.predict(X) * self._target_scale[idx] + self._target_mean[idx]
+        return out
+
+    def predict(self, X) -> np.ndarray:
+        """Predicted dynamics, shape ``(n_configs, n_samples)``."""
+        s = self.settings
+        coeffs = self.predict_coefficients(X)
+        return np.vstack([
+            idwt(row, wavelet=s.wavelet, convention=s.convention) for row in coeffs
+        ])
+
+    def predict_one(self, x) -> np.ndarray:
+        """Predicted dynamics for a single design vector."""
+        return self.predict(np.asarray(x, dtype=float).reshape(1, -1))[0]
+
+    # ------------------------------------------------------------------
+    def score(self, X, traces,
+              metric: Callable[[Sequence[float], Sequence[float]], float] = _metrics.nmse_percent,
+              ) -> np.ndarray:
+        """Per-configuration prediction errors under ``metric``.
+
+        Defaults to the canonical MSE% (variance-normalized); the result
+        feeds the Figure 8 boxplots directly.
+        """
+        traces = as_2d_float_array(traces, name="traces")
+        preds = self.predict(X)
+        if preds.shape != traces.shape:
+            raise ModelError(
+                f"traces shape {traces.shape} does not match predictions {preds.shape}"
+            )
+        return np.array([metric(a, p) for a, p in zip(traces, preds)])
+
+    def split_importance(self) -> Dict[str, np.ndarray]:
+        """Aggregate regression-tree importance over the coefficient models.
+
+        Returns ``{"order": ..., "frequency": ...}`` — per-feature scores
+        averaged over the retained coefficients' trees, weighting each
+        tree equally.  This is the per-(benchmark, domain) input to the
+        Figure 11 star plots.
+        """
+        self._check_fitted()
+        order = np.zeros(self.n_features_, dtype=float)
+        freq = np.zeros(self.n_features_, dtype=float)
+        for net in self.models_.values():
+            order += net.tree_.split_order_scores()
+            freq += net.tree_.split_counts()
+        n = max(len(self.models_), 1)
+        order /= n
+        total = freq.sum()
+        if total > 0:
+            freq = freq / total
+        return {"order": order, "frequency": freq}
+
+    @property
+    def n_networks(self) -> int:
+        """Number of fitted per-coefficient RBF networks."""
+        self._check_fitted()
+        return len(self.models_)
+
+    def _check_fitted(self) -> None:
+        if self.selected_indices_ is None:
+            raise NotFittedError("WaveletNeuralPredictor used before fit")

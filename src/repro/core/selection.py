@@ -1,0 +1,167 @@
+"""Wavelet coefficient selection schemes.
+
+Section 3 of the paper: "we opt to only predict a small set of important
+wavelet coefficients", comparing two schemes —
+
+``magnitude``
+    keep the ``k`` largest-magnitude coefficients, approximate the rest
+    with zero (the scheme the paper adopts, since "it always outperforms
+    the order-based scheme");
+``order``
+    keep the first ``k`` coefficients in coarse-to-fine order.
+
+For magnitude-based selection to be usable at *unseen* configurations the
+identity of the important coefficients must be stable across the design
+space (the paper's Figure 7).  :func:`consensus_ranking` derives the
+model-wide coefficient set from the training traces, and
+:func:`ranking_stability` quantifies how consistent per-configuration
+rankings are.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro._validation import as_1d_float_array, as_2d_float_array
+from repro.errors import ModelError
+
+#: Supported selection schemes.
+SCHEMES = ("magnitude", "order")
+
+
+def _check_scheme(scheme: str) -> None:
+    if scheme not in SCHEMES:
+        raise ModelError(f"unknown selection scheme {scheme!r}; choose from {SCHEMES}")
+
+
+def _check_k(k: int, n: int) -> None:
+    if not 1 <= k <= n:
+        raise ModelError(f"k must be in [1, {n}], got {k}")
+
+
+def rank_by_magnitude(coeffs: Sequence[float]) -> np.ndarray:
+    """Indices of coefficients sorted by decreasing absolute magnitude.
+
+    Ties break toward the lower (coarser) index so rankings are
+    deterministic.
+    """
+    arr = as_1d_float_array(coeffs, name="coeffs")
+    # argsort of (-|c|, index) — stable sort keeps lower indices first on ties.
+    return np.argsort(-np.abs(arr), kind="stable")
+
+
+def magnitude_ranks(coeffs: Sequence[float]) -> np.ndarray:
+    """Per-coefficient rank (0 = largest magnitude).
+
+    The inverse permutation of :func:`rank_by_magnitude`; this is the
+    quantity plotted per configuration in the paper's Figure 7 colour map.
+    """
+    order = rank_by_magnitude(coeffs)
+    ranks = np.empty(order.size, dtype=int)
+    ranks[order] = np.arange(order.size)
+    return ranks
+
+
+def select_coefficients(coeffs: Sequence[float], k: int,
+                        scheme: str = "magnitude") -> Tuple[np.ndarray, np.ndarray]:
+    """Select ``k`` coefficients under the given scheme.
+
+    Returns
+    -------
+    (indices, values):
+        ``indices`` are sorted ascending (coarse-to-fine positions in the
+        coefficient vector), ``values`` the corresponding coefficients.
+    """
+    _check_scheme(scheme)
+    arr = as_1d_float_array(coeffs, name="coeffs")
+    _check_k(k, arr.size)
+    if scheme == "order":
+        idx = np.arange(k)
+    else:
+        idx = np.sort(rank_by_magnitude(arr)[:k])
+    return idx, arr[idx]
+
+
+def truncate_coefficients(coeffs: Sequence[float], k: int,
+                          scheme: str = "magnitude") -> np.ndarray:
+    """Zero all but the selected ``k`` coefficients.
+
+    The result feeds the inverse transform to produce the paper's
+    truncated-reconstruction approximations (Figure 4).
+    """
+    arr = as_1d_float_array(coeffs, name="coeffs")
+    idx, _ = select_coefficients(arr, k, scheme)
+    out = np.zeros_like(arr)
+    out[idx] = arr[idx]
+    return out
+
+
+def consensus_ranking(coeff_matrix) -> np.ndarray:
+    """Design-space-wide coefficient importance ranking.
+
+    Parameters
+    ----------
+    coeff_matrix:
+        Array of shape ``(n_configurations, n_coefficients)`` — one DWT
+        coefficient vector per training configuration.
+
+    Returns
+    -------
+    numpy.ndarray
+        Coefficient indices ordered by decreasing mean absolute magnitude
+        across configurations.  The predictor uses the top-``k`` of this
+        ordering as its retained coefficient set, which is legitimate
+        because the per-configuration rankings are stable (Figure 7).
+    """
+    mat = as_2d_float_array(coeff_matrix, name="coeff_matrix")
+    mean_abs = np.mean(np.abs(mat), axis=0)
+    return np.argsort(-mean_abs, kind="stable")
+
+
+def ranking_stability(coeff_matrix, k: int) -> float:
+    """Mean pairwise Jaccard overlap of per-configuration top-``k`` sets.
+
+    Returns a value in ``[0, 1]``; ``1`` means every configuration agrees
+    exactly on which ``k`` coefficients matter.  This is the quantitative
+    summary of the paper's Figure 7 claim ("the top ranked wavelet
+    coefficients largely remain consistent across different processor
+    configurations").
+    """
+    mat = as_2d_float_array(coeff_matrix, name="coeff_matrix")
+    n_cfg, n_coef = mat.shape
+    _check_k(k, n_coef)
+    top = np.zeros((n_cfg, n_coef), dtype=bool)
+    for i in range(n_cfg):
+        top[i, rank_by_magnitude(mat[i])[:k]] = True
+    if n_cfg < 2:
+        return 1.0
+    # Pairwise Jaccard via boolean algebra, vectorized over pairs.
+    inter = top.astype(int) @ top.astype(int).T          # |A ∩ B|
+    sizes = top.sum(axis=1)
+    union = sizes[:, None] + sizes[None, :] - inter       # |A ∪ B|
+    iu = np.triu_indices(n_cfg, 1)
+    return float(np.mean(inter[iu] / union[iu]))
+
+
+def rank_map(coeff_matrix) -> np.ndarray:
+    """Per-configuration magnitude ranks — the raw data of Figure 7.
+
+    Returns an ``(n_configurations, n_coefficients)`` integer array where
+    entry ``(i, j)`` is the rank (0 = most important) of coefficient ``j``
+    under configuration ``i``.
+    """
+    mat = as_2d_float_array(coeff_matrix, name="coeff_matrix")
+    return np.vstack([magnitude_ranks(row) for row in mat])
+
+
+def energy_captured(coeffs: Sequence[float], k: int,
+                    scheme: str = "magnitude") -> float:
+    """Fraction of coefficient energy captured by the selected subset."""
+    arr = as_1d_float_array(coeffs, name="coeffs")
+    total = float(np.sum(arr * arr))
+    if total == 0.0:
+        return 1.0
+    _, vals = select_coefficients(arr, k, scheme)
+    return float(np.sum(vals * vals)) / total

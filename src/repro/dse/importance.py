@@ -1,0 +1,88 @@
+"""Parameter-importance analysis from regression-tree splits (Figure 11).
+
+Section 4 of the paper: "all input microarchitecture parameters were
+ranked based on either split order or split frequency.  The
+microarchitecture parameters which cause the most output variation tend
+to be split earliest and most often in the constructed regression tree."
+
+:func:`importance_star` aggregates split-order and split-frequency
+scores over the per-coefficient RBF networks of a fitted
+:class:`~repro.core.predictor.WaveletNeuralPredictor`, producing one
+normalized "spoke length" per parameter — the paper's star-plot data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.predictor import WaveletNeuralPredictor
+from repro.errors import ModelError
+
+#: Supported importance measures.
+MEASURES = ("order", "frequency")
+
+
+@dataclass(frozen=True)
+class StarPlotData:
+    """Star-plot spokes for one (benchmark, domain) pair.
+
+    ``scores`` are normalized so the longest spoke is 1 (the paper's
+    star plots are relative magnitudes).
+    """
+
+    benchmark: str
+    domain: str
+    measure: str
+    parameter_names: Tuple[str, ...]
+    scores: np.ndarray
+
+    def top_parameters(self, k: int = 3) -> List[str]:
+        """The ``k`` most important parameter names, descending."""
+        order = np.argsort(-self.scores, kind="stable")[:k]
+        return [self.parameter_names[i] for i in order]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Name -> score mapping."""
+        return {n: float(s) for n, s in zip(self.parameter_names, self.scores)}
+
+
+def importance_star(model: WaveletNeuralPredictor,
+                    parameter_names: Sequence[str],
+                    benchmark: str, domain: str,
+                    measure: str = "order") -> StarPlotData:
+    """Star-plot data from a fitted dynamics predictor.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`WaveletNeuralPredictor`.
+    parameter_names:
+        Design-space parameter names in encoding order.
+    measure:
+        ``"order"`` (first-split position, Figure 11a) or
+        ``"frequency"`` (split counts, Figure 11b).
+    """
+    if measure not in MEASURES:
+        raise ModelError(f"measure must be one of {MEASURES}, got {measure!r}")
+    imp = model.split_importance()[measure]
+    names = tuple(parameter_names)
+    if len(names) != imp.size:
+        raise ModelError(
+            f"{len(names)} parameter names for {imp.size} model features"
+        )
+    peak = imp.max()
+    scores = imp / peak if peak > 0 else imp
+    return StarPlotData(benchmark=benchmark, domain=domain, measure=measure,
+                        parameter_names=names, scores=scores)
+
+
+def importance_table(stars: Sequence[StarPlotData]) -> List[Tuple[str, str, str]]:
+    """Summary rows ``(benchmark, domain, top-3 parameters)`` for reports."""
+    rows = []
+    for star in stars:
+        rows.append((star.benchmark, star.domain,
+                     ", ".join(star.top_parameters(3))))
+    return rows

@@ -1,0 +1,50 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each experiment registers itself with :mod:`repro.experiments.registry`
+and produces an :class:`~repro.experiments.registry.ExperimentResult`
+whose tables hold the same rows/series the paper reports.  The
+benchmarks under ``benchmarks/`` are thin wrappers that run these
+drivers and print their output.
+
+Usage
+-----
+>>> from repro.experiments import run_experiment
+>>> result = run_experiment("fig9")          # doctest: +SKIP
+>>> print(result.render())                   # doctest: +SKIP
+"""
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.context import ExperimentContext, Scale, get_context
+
+# Importing the driver modules registers them.
+from repro.experiments import (  # noqa: F401  (registration side effect)
+    table1_2,
+    fig01,
+    fig04,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig13,
+    fig14,
+    fig17,
+    fig18,
+    fig19,
+    ablations,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentContext",
+    "Scale",
+    "get_context",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]

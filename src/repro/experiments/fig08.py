@@ -1,0 +1,55 @@
+"""Figure 8: MSE boxplots of workload dynamics prediction.
+
+The paper's headline accuracy result: per-benchmark boxplots of the
+prediction MSE (%) over the 50 test configurations, for the
+performance (CPI), power and reliability (AVF) domains.  Reported
+reference points: CPI median errors from 0.5 % (swim) to 8.6 % (mcf)
+with an overall median of 2.3 % and ~30 % maxima; power slightly less
+accurate (overall median 2.6 %, maxima ~35 %); reliability errors much
+smaller.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.render import render_boxplot_rows
+from repro.analysis.stats import benchmark_table, domain_summary
+from repro.experiments.context import EVAL_DOMAINS
+from repro.experiments.registry import ExperimentResult, ExperimentTable, register
+
+
+@register("fig8", "MSE boxplots of dynamics prediction", "Figure 8")
+def run_fig8(ctx) -> ExperimentResult:
+    """Fit and evaluate all (benchmark, domain) models."""
+    tables = []
+    text = []
+    overall_rows = []
+    for domain in EVAL_DOMAINS:
+        errors = ctx.errors_by_benchmark(domain)
+        summary = domain_summary(domain, errors)
+        tables.append(ExperimentTable(
+            title=f"{domain.upper()} MSE% per benchmark",
+            headers=("benchmark", "median", "q1", "q3", "whisker_high"),
+            rows=[list(r) for r in benchmark_table(summary)],
+        ))
+        text.append(f"{domain.upper()} boxplots:\n" + render_boxplot_rows(
+            {b: summary.per_benchmark[b] for b in summary.per_benchmark}
+        ))
+        overall_rows.append([
+            domain, summary.overall_median, summary.overall_max,
+            summary.best_benchmark, summary.worst_benchmark,
+        ])
+    tables.insert(0, ExperimentTable(
+        title="Overall accuracy per domain",
+        headers=("domain", "overall median MSE%", "max MSE%",
+                 "best benchmark", "worst benchmark"),
+        rows=overall_rows,
+    ))
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Workload dynamics prediction accuracy (MSE% boxplots)",
+        paper_reference="Figure 8",
+        tables=tables,
+        text=text,
+        notes="paper reference: CPI medians 0.5-8.6% (overall 2.3%, max 30%); "
+              "power overall 2.6% (max 35%); AVF much smaller",
+    )

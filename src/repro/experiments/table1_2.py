@@ -1,0 +1,40 @@
+"""Tables 1 and 2: the simulated machine and the design space."""
+
+from __future__ import annotations
+
+from repro.dse.space import table2_rows
+from repro.experiments.registry import ExperimentResult, ExperimentTable, register
+from repro.uarch.params import TABLE1_ROWS
+
+
+@register("table1", "Simulated machine configuration", "Table 1")
+def run_table1(ctx) -> ExperimentResult:
+    """Emit the baseline machine configuration rows."""
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Simulated machine configuration",
+        paper_reference="Table 1",
+        tables=[ExperimentTable(
+            title="Baseline machine",
+            headers=("Parameter", "Configuration"),
+            rows=[list(r) for r in TABLE1_ROWS],
+        )],
+    )
+
+
+@register("table2", "Microarchitectural parameter ranges", "Table 2")
+def run_table2(ctx) -> ExperimentResult:
+    """Emit the train/test level sets of the 9-parameter space."""
+    rows = table2_rows(ctx.space)
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Microarchitectural parameter ranges (train/test)",
+        paper_reference="Table 2",
+        tables=[ExperimentTable(
+            title="Design space",
+            headers=("Parameter", "Train levels", "Test levels", "# levels"),
+            rows=[list(r) for r in rows],
+        )],
+        notes=f"train grid size {ctx.space.size('train')}, "
+              f"test grid size {ctx.space.size('test')}",
+    )

@@ -1,0 +1,16 @@
+"""Wattch-style architectural power modelling.
+
+The paper's framework "uses a Wattch-based power model" (Section 3,
+citing Brooks et al. ISCA 2000).  This package follows the same modelling
+idea: per-access energies for each microarchitectural structure, scaled
+with the structure's size, multiplied by activity counts, with
+conditional clock gating and a leakage floor.
+"""
+
+from repro.power.wattch import (
+    WattchModel,
+    leakage_power,
+    structure_energies,
+)
+
+__all__ = ["WattchModel", "leakage_power", "structure_energies"]

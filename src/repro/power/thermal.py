@@ -1,0 +1,145 @@
+"""Thermal dynamics and Dynamic Thermal Management (DTM).
+
+The paper's introduction motivates workload-dynamics prediction with
+exactly this scenario: "instead of designing packaging that can meet the
+cooling capacity for worst-case scenarios, architects can examine how
+the workload thermal dynamics behave across different architecture
+configurations and deploy appropriate dynamic thermal management (DTM)
+policies to mitigate thermal emergencies" (citing Brooks & Martonosi,
+HPCA 2001).
+
+This module closes that loop as an extension: a lumped RC thermal model
+turns the Wattch power traces into die-temperature dynamics (another
+time series the wavelet neural networks can predict), and a
+:class:`DTMPolicy` models the classic fetch-throttling response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro._validation import as_1d_float_array
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ThermalModel:
+    """Lumped RC package model: ``RC dT/dt = P*R - (T - T_amb)``.
+
+    Attributes
+    ----------
+    r_thermal:
+        Junction-to-ambient thermal resistance (K/W).
+    time_constant_intervals:
+        The RC time constant expressed in sampling intervals; heat
+        integrates over many intervals, which is what gives thermal
+        traces their characteristic low-pass texture.
+    t_ambient:
+        Ambient (heatsink inlet) temperature, Celsius.
+    """
+
+    r_thermal: float = 0.45
+    time_constant_intervals: float = 8.0
+    t_ambient: float = 45.0
+
+    def __post_init__(self):
+        if self.r_thermal <= 0 or self.time_constant_intervals <= 0:
+            raise ConfigurationError(
+                "r_thermal and time_constant_intervals must be positive"
+            )
+
+    @property
+    def alpha(self) -> float:
+        """Discrete-time update gain, ``dt / RC`` clipped for stability."""
+        return min(1.0 / self.time_constant_intervals, 1.0)
+
+    def steady_state(self, power: float) -> float:
+        """Equilibrium temperature under constant power."""
+        return self.t_ambient + self.r_thermal * power
+
+    def temperature_trace(self, power_trace,
+                          t_initial: float = None) -> np.ndarray:
+        """Integrate a per-interval power trace into die temperature.
+
+        Parameters
+        ----------
+        power_trace:
+            Power (W) per sampling interval.
+        t_initial:
+            Starting temperature; defaults to the steady state of the
+            first interval's power (warmed-up die).
+        """
+        power = as_1d_float_array(power_trace, name="power_trace")
+        temp = np.empty_like(power)
+        t = self.steady_state(power[0]) if t_initial is None else float(t_initial)
+        a = self.alpha
+        for i, p in enumerate(power):
+            t = t + a * (self.steady_state(p) - t)
+            temp[i] = t
+        return temp
+
+
+@dataclass(frozen=True)
+class DTMPolicy:
+    """Fetch-throttling dynamic thermal management.
+
+    When die temperature crosses ``trigger``, the front end is throttled
+    by ``throttle_factor`` (power drops proportionally, performance
+    degrades by the same factor at worst) until temperature drops below
+    ``trigger - hysteresis``.
+    """
+
+    trigger: float = 85.0
+    hysteresis: float = 2.0
+    throttle_factor: float = 0.6
+
+    def __post_init__(self):
+        if not 0.0 < self.throttle_factor < 1.0:
+            raise ConfigurationError(
+                f"throttle_factor must be in (0, 1), got {self.throttle_factor}"
+            )
+        if self.hysteresis < 0:
+            raise ConfigurationError("hysteresis must be non-negative")
+
+    def apply(self, power_trace, thermal: ThermalModel,
+              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Simulate the DTM feedback loop over a power trace.
+
+        Returns ``(temperature, managed_power, throttled)`` where
+        ``throttled`` is a boolean mask of intervals spent throttled.
+        The loop is stateful: throttling in interval *i* reduces the heat
+        driving interval *i+1* — the feedback the paper's "false alarms
+        ... can trigger responses too frequently" remark is about.
+        """
+        power = as_1d_float_array(power_trace, name="power_trace")
+        temp = np.empty_like(power)
+        managed = np.empty_like(power)
+        throttled = np.zeros(power.size, dtype=bool)
+        # DTM was active before the window too: the die never settled
+        # above the trigger, so start from the capped steady state.
+        t = min(thermal.steady_state(power[0]), self.trigger)
+        a = thermal.alpha
+        active = False
+        for i, p in enumerate(power):
+            if active and t < self.trigger - self.hysteresis:
+                active = False
+            elif not active and t >= self.trigger:
+                active = True
+            managed[i] = p * self.throttle_factor if active else p
+            throttled[i] = active
+            t = t + a * (thermal.steady_state(managed[i]) - t)
+            temp[i] = t
+        return temp, managed, throttled
+
+    def worst_case_headroom(self, power_trace, thermal: ThermalModel) -> float:
+        """Trigger margin of the *unmanaged* trace (negative = emergency).
+
+        This is the quantity a designer reads off predicted dynamics to
+        decide whether a cheaper package plus DTM suffices — the paper's
+        scenario-driven-design argument.
+        """
+        temp = thermal.temperature_trace(power_trace)
+        return float(self.trigger - temp.max())

@@ -1,0 +1,21 @@
+"""Soft-error reliability analysis: AVF computation and DVM.
+
+Implements the paper's Architecture Vulnerability Factor methodology
+(Section 3, citing Mukherjee et al. MICRO'03 and Biswas et al. ISCA'05):
+a structure's AVF is the fraction of its bits that hold ACE
+(Architecturally Correct Execution) state, averaged over time — the
+probability that a transient fault becomes a user-visible error.
+
+``avf``
+    Occupancy-based AVF traces (interval backend) and counter-based AVF
+    (detailed backend).
+``dvm``
+    The Section 5 Dynamic Vulnerability Management policy: throttle
+    dispatch on L2 misses and adapt the waiting/ready ``wq_ratio`` to
+    keep IQ AVF under a target.
+"""
+
+from repro.reliability.avf import AVFModel, STRUCTURE_BITS
+from repro.reliability.dvm import DVMPolicy
+
+__all__ = ["AVFModel", "STRUCTURE_BITS", "DVMPolicy"]

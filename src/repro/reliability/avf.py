@@ -1,0 +1,177 @@
+"""Architecture Vulnerability Factor (ACE) analysis.
+
+A structure's AVF over an interval is::
+
+    AVF = (sum over cycles of resident ACE bits) / (bits * cycles)
+
+The detailed simulator counts resident ACE instructions per cycle
+directly (:meth:`AVFModel.avf_from_counters`).  The interval backend
+derives occupancy from queueing arguments (:meth:`AVFModel.avf_traces`):
+long-latency cache misses pile instructions up in the IQ/ROB/LSQ, so
+occupancy — and with it AVF — tracks the memory-stall fraction of
+execution, which is exactly the mechanism that makes AVF vary with both
+workload phase and machine configuration in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.uarch.params import MachineConfig
+
+#: Bits of architecturally-exposed state per entry, per structure.
+#: (payload + tags + status; coarse but proportionate.)
+STRUCTURE_BITS = {
+    "iq": 80,        # opcode, operands/tags, immediate, status
+    "rob": 76,       # result, dest tag, PC fragment, status
+    "lsq": 100,      # address, data, tags
+    "regfile": 64,   # data bits per register
+}
+
+#: Fixed register count (not varied in Table 2).  Only the physical
+#: registers holding committed or in-flight architectural state are
+#: counted (the rest are un-ACE by construction).
+REGFILE_ENTRIES = 128
+
+
+def structure_capacity_bits(config: MachineConfig) -> Dict[str, float]:
+    """Total bit capacity of each tracked structure for this config."""
+    return {
+        "iq": STRUCTURE_BITS["iq"] * config.iq_size,
+        "rob": STRUCTURE_BITS["rob"] * config.rob_size,
+        "lsq": STRUCTURE_BITS["lsq"] * config.lsq_size,
+        "regfile": STRUCTURE_BITS["regfile"] * REGFILE_ENTRIES,
+    }
+
+
+@dataclass(frozen=True)
+class AVFModel:
+    """AVF estimation bound to one machine configuration."""
+
+    config: MachineConfig
+
+    # ------------------------------------------------------------------
+    # Interval (occupancy) backend
+    # ------------------------------------------------------------------
+    def occupancy_traces(self, ipc, mem_stall_frac, ace_fraction,
+                         f_mem, window, waiting_frac=0.0) -> Dict[str, np.ndarray]:
+        """Per-sample occupancy fraction of each structure.
+
+        Parameters
+        ----------
+        ipc:
+            Achieved instructions per cycle.
+        mem_stall_frac:
+            Fraction of cycles stalled on L2/memory misses; while
+            stalled, dispatch keeps filling the queues toward full.
+        ace_fraction:
+            Workload's ACE fraction (per sample).
+        f_mem:
+            Memory-instruction fraction (loads + stores).
+        window:
+            Effective in-flight window (instructions), already limited by
+            ROB/IQ/LSQ.
+        waiting_frac:
+            Fraction of dispatched instructions waiting (not yet ready to
+            issue) in steady state — the fetch-vs-ILP imbalance.  Wide
+            machines running low-ILP code keep the issue queue full of
+            waiting instructions even without cache misses.
+        """
+        cfg = self.config
+        ipc = np.asarray(ipc, dtype=float)
+        stall = np.clip(np.asarray(mem_stall_frac, dtype=float), 0.0, 1.0)
+        f_mem = np.asarray(f_mem, dtype=float)
+        window = np.asarray(window, dtype=float)
+        waiting = np.clip(np.asarray(waiting_frac, dtype=float), 0.0, 1.0)
+
+        # IQ: a residency floor, plus waiting-instruction pressure, plus
+        # load-to-use serialization; misses drive it toward full.  The
+        # waiting-pressure term dominates the configuration dependence:
+        # wide fetch engines running low-ILP code keep the queue full
+        # (the paper's Figure 1 shows AVF spanning roughly 0.1-0.35
+        # across configurations for the same code).
+        base_iq = np.clip(
+            0.06
+            + 0.75 * waiting
+            + 0.06 * (cfg.dl1_latency - 1)
+            + np.clip(2.0 * ipc / cfg.iq_size, 0.0, 0.2),
+            0.0, 0.95,
+        )
+        occ_iq = base_iq * (1.0 - stall) + 0.95 * stall
+
+        base_rob = np.clip(0.25 + 0.55 * waiting
+                           + 0.35 * window / cfg.rob_size, 0.0, 0.95)
+        occ_rob = base_rob * (1.0 - stall) + 0.97 * stall
+
+        base_lsq = np.clip(0.9 * f_mem * window / cfg.lsq_size
+                           + 0.3 * waiting, 0.0, 0.95)
+        occ_lsq = base_lsq * (1.0 - stall) + 0.92 * stall
+
+        # Live architectural state in the register file grows with the
+        # in-flight window and with stall pile-ups.
+        occ_rf = np.clip(0.35 + 0.25 * window / 160.0 + 0.25 * waiting,
+                         0.0, 0.9) + 0.1 * stall
+
+        return {
+            "iq": np.clip(occ_iq, 0.02, 0.98),
+            "rob": np.clip(occ_rob, 0.02, 0.98),
+            "lsq": np.clip(occ_lsq, 0.02, 0.98),
+            "regfile": np.clip(occ_rf, 0.02, 0.98),
+        }
+
+    def avf_traces(self, ipc, mem_stall_frac, ace_fraction,
+                   f_mem, window, waiting_frac=0.0) -> Dict[str, np.ndarray]:
+        """Per-sample AVF of each structure plus the processor average.
+
+        Structure AVF = occupancy x ACE fraction (occupied entries whose
+        bits are ACE).  The processor AVF weights structures by bit
+        capacity; the register file contributes a lower ACE share since
+        many registers hold dead values (Mukherjee et al.'s un-ACE
+        arguments).
+        """
+        ace = np.asarray(ace_fraction, dtype=float)
+        occ = self.occupancy_traces(ipc, mem_stall_frac, ace_fraction,
+                                    f_mem, window, waiting_frac)
+        # Resident populations are *enriched* in ACE state: dynamically
+        # dead (un-ACE) instructions have no consumers to wait for and
+        # drain quickly, while ACE instructions linger on operand
+        # dependences.  The superlinear exponent models that enrichment
+        # (residency-weighted ACE share), making queue AVF roughly twice
+        # as sensitive to the workload's ACE fraction as a static count.
+        ace_resident = ace ** 1.9
+        avf = {
+            "iq": np.clip(occ["iq"] * ace_resident * 1.85, 0.0, 1.0),
+            "rob": np.clip(occ["rob"] * ace_resident * 1.6, 0.0, 1.0),
+            "lsq": np.clip(occ["lsq"] * ace_resident * 1.5, 0.0, 1.0),
+            "regfile": np.clip(occ["regfile"] * ace * 0.45, 0.0, 1.0),
+        }
+        bits = structure_capacity_bits(self.config)
+        total_bits = sum(bits.values())
+        avf["processor"] = sum(avf[s] * bits[s] for s in bits) / total_bits
+        return avf
+
+    # ------------------------------------------------------------------
+    # Detailed (counter) backend
+    # ------------------------------------------------------------------
+    def avf_from_counters(self, ace_bit_cycles: Mapping[str, float],
+                          cycles: float) -> Dict[str, float]:
+        """AVF per structure from accumulated ACE-bit residency counters.
+
+        ``ace_bit_cycles[s]`` is ``sum over cycles of resident ACE bits``
+        for structure ``s`` (what the detailed simulator accumulates);
+        dividing by ``capacity_bits * cycles`` gives the Mukherjee AVF.
+        """
+        bits = structure_capacity_bits(self.config)
+        if cycles <= 0:
+            return {s: 0.0 for s in list(bits) + ["processor"]}
+        out = {}
+        for s, capacity in bits.items():
+            out[s] = float(np.clip(
+                ace_bit_cycles.get(s, 0.0) / (capacity * cycles), 0.0, 1.0
+            ))
+        total_bits = sum(bits.values())
+        out["processor"] = sum(out[s] * bits[s] for s in bits) / total_bits
+        return out

@@ -1,0 +1,152 @@
+"""Dynamic Vulnerability Management (the paper's Section 5 case study).
+
+The paper's DVM policy (its Figure 16 pseudocode) manages runtime
+instruction-queue soft-error vulnerability:
+
+* the online IQ AVF estimate is compared against a trigger threshold;
+* on an L2 miss, instruction dispatch is stalled (misses are what pile
+  ACE state up in the IQ);
+* every ``sample_interval / 5`` cycles, a ``wq_ratio`` knob — the allowed
+  ratio of waiting to ready instructions in the IQ — is halved when the
+  AVF estimate exceeds the trigger and incremented otherwise ("slow
+  increases and rapid decreases");
+* dispatch also stalls whenever the waiting/ready ratio exceeds
+  ``wq_ratio``.
+
+Two implementations are provided:
+
+:class:`DVMPolicy` + :class:`DVMController`
+    The literal mechanism, used by the detailed cycle-level simulator.
+:meth:`DVMPolicy.apply_interval_effect`
+    A first-order model of the same feedback loop for the vectorized
+    interval backend: the controller soft-clamps IQ AVF toward the
+    threshold, with an *effectiveness* that collapses when memory stalls
+    dominate (the queue refills faster than throttling drains it) — that
+    saturation is what makes DVM *fail* under weak configurations, the
+    paper's Figure 17 scenario 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.uarch.params import MachineConfig
+
+
+@dataclass(frozen=True)
+class DVMPolicy:
+    """DVM policy parameters (defaults follow the paper's pseudocode)."""
+
+    threshold: float = 0.3
+    sample_divisor: int = 5     # AVF sampled every interval/5 cycles
+    wq_initial: float = 2.0
+    wq_increase: float = 1.0    # slow additive increase
+    wq_decrease: float = 0.5    # rapid multiplicative decrease (halving)
+    wq_max: float = 16.0
+
+    def __post_init__(self):
+        if not 0.0 < self.threshold < 1.0:
+            raise ConfigurationError(
+                f"DVM threshold must be in (0, 1), got {self.threshold}"
+            )
+        if self.sample_divisor < 1:
+            raise ConfigurationError(
+                f"sample_divisor must be >= 1, got {self.sample_divisor}"
+            )
+        if not 0.0 < self.wq_decrease < 1.0:
+            raise ConfigurationError(
+                f"wq_decrease must be a fraction in (0, 1), got {self.wq_decrease}"
+            )
+
+    # ------------------------------------------------------------------
+    # Interval-model effect
+    # ------------------------------------------------------------------
+    def effectiveness(self, config: MachineConfig, mem_stall_frac) -> np.ndarray:
+        """Fraction of above-threshold IQ AVF the mechanism removes.
+
+        Throttling dispatch can only drain what the front end controls:
+        when execution is dominated by memory stalls the IQ refills with
+        ACE state as fast as the throttle releases it, so effectiveness
+        decays with the memory-stall fraction.  Wider fetch engines also
+        refill the queue faster after every throttle window, and small
+        LSQs leave less slack to absorb the stall.
+        """
+        stall = np.clip(np.asarray(mem_stall_frac, dtype=float), 0.0, 1.0)
+        base = 0.95 - 2.2 * np.clip(stall - 0.45, 0.0, 1.0)
+        width_penalty = 0.05 * (config.fetch_width / 16.0)
+        lsq_bonus = 0.06 * np.clip(config.lsq_size / 64.0, 0.0, 1.0)
+        return np.clip(base - width_penalty + lsq_bonus, 0.05, 0.95)
+
+    def apply_interval_effect(self, iq_avf, cpi, config: MachineConfig,
+                              mem_stall_frac) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """First-order DVM effect on per-sample IQ AVF and CPI.
+
+        Returns ``(iq_avf_managed, cpi_managed, engaged)`` where
+        ``engaged`` is 1.0 on samples where the trigger fired.  The
+        managed AVF approaches the threshold from above by the
+        effectiveness fraction; the residual excess survives (and can
+        violate the target — Figure 17 scenario 2).  Throttling costs
+        performance in proportion to how much occupancy it removed.
+        """
+        avf = np.asarray(iq_avf, dtype=float)
+        cpi = np.asarray(cpi, dtype=float)
+        excess = np.maximum(avf - self.threshold, 0.0)
+        engaged = (excess > 0.0).astype(float)
+        eta = self.effectiveness(config, mem_stall_frac)
+        removed = excess * eta
+        # An effective controller overshoots *below* the trigger: the
+        # halved wq_ratio keeps throttling until occupancy clearly drops
+        # (the paper's "rapid decreases").  The residual excess survives
+        # where the mechanism saturates; the finite AVF sampling rate
+        # (interval/5) leaves a small ripple on top.
+        undershoot = 0.15 * eta * self.threshold
+        ripple = excess * eta * (0.25 / self.sample_divisor)
+        avf_managed = np.minimum(
+            self.threshold - undershoot + excess * (1.0 - eta) + ripple,
+            avf,
+        )
+        avf_managed = np.clip(avf_managed, 0.0, 1.0)
+        # Dispatch throttling converts removed occupancy into lost issue
+        # slots; the relative slowdown tracks the removed share of
+        # in-flight state.
+        rel_removed = removed / np.maximum(avf, 1e-9)
+        cpi_managed = cpi * (1.0 + 0.35 * rel_removed * engaged)
+        return avf_managed, cpi_managed, engaged
+
+
+class DVMController:
+    """Cycle-accurate wq_ratio controller (the Figure 16 pseudocode).
+
+    Used by the detailed simulator: call :meth:`on_sample` at every AVF
+    sampling point and consult :meth:`should_throttle` at dispatch.
+    """
+
+    def __init__(self, policy: DVMPolicy):
+        self.policy = policy
+        self.wq_ratio = policy.wq_initial
+        self.trigger_count = 0
+        self.sample_count = 0
+
+    def on_sample(self, online_iq_avf: float) -> None:
+        """Fine-grained AVF sample: adapt wq_ratio (halve fast, grow slow)."""
+        self.sample_count += 1
+        if online_iq_avf > self.policy.threshold:
+            self.wq_ratio = max(self.wq_ratio * self.policy.wq_decrease, 0.25)
+            self.trigger_count += 1
+        else:
+            self.wq_ratio = min(self.wq_ratio + self.policy.wq_increase,
+                                self.policy.wq_max)
+
+    def should_throttle(self, waiting: int, ready: int,
+                        l2_miss_outstanding: bool) -> bool:
+        """Dispatch gate: stall on outstanding L2 misses or when the
+        waiting/ready ratio exceeds the adapted wq_ratio."""
+        if l2_miss_outstanding:
+            return True
+        if ready <= 0:
+            return waiting > self.wq_ratio
+        return (waiting / ready) > self.wq_ratio

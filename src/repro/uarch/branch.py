@@ -1,0 +1,144 @@
+"""Branch prediction: gshare + BTB + return address stack (Table 1).
+
+The Table 1 front end: a 2K-entry gshare predictor with 10 bits of
+global history, a 2K-entry 4-way BTB and a 32-entry RAS.  The paper's
+design space does not vary the predictor, but its accuracy interacts
+with every configuration through the misprediction penalty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.uarch.params import MachineConfig
+
+
+class GsharePredictor:
+    """Classic gshare: PC xor global-history indexes 2-bit counters."""
+
+    def __init__(self, entries: int = 2048, history_bits: int = 10):
+        if entries <= 0 or (entries & (entries - 1)):
+            raise ConfigurationError(
+                f"gshare entries must be a positive power of two, got {entries}"
+            )
+        if not 0 < history_bits <= 20:
+            raise ConfigurationError(
+                f"history_bits must be in (0, 20], got {history_bits}"
+            )
+        self.entries = entries
+        self.history_bits = history_bits
+        self._mask = entries - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._counters = np.ones(entries, dtype=np.int8)  # weakly not-taken
+        self._history = 0
+        self.lookups = 0
+        self.mispredicts = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        return bool(self._counters[self._index(pc)] >= 2)
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Train on the resolved outcome; returns True on mispredict."""
+        idx = self._index(pc)
+        prediction = self._counters[idx] >= 2
+        if taken and self._counters[idx] < 3:
+            self._counters[idx] += 1
+        elif not taken and self._counters[idx] > 0:
+            self._counters[idx] -= 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        self.lookups += 1
+        mispredicted = prediction != taken
+        if mispredicted:
+            self.mispredicts += 1
+        return mispredicted
+
+    @property
+    def mispredict_rate(self) -> float:
+        """Observed misprediction rate."""
+        return self.mispredicts / self.lookups if self.lookups else 0.0
+
+
+class BranchTargetBuffer:
+    """Direct-mapped-by-set BTB; misses on taken branches cost a bubble."""
+
+    def __init__(self, entries: int = 2048, assoc: int = 4):
+        if entries <= 0 or entries % assoc:
+            raise ConfigurationError(
+                f"BTB entries ({entries}) must be a positive multiple of "
+                f"assoc ({assoc})"
+            )
+        self.n_sets = entries // assoc
+        self.assoc = assoc
+        self._tags = np.full((self.n_sets, assoc), -1, dtype=np.int64)
+        self._lru = np.zeros((self.n_sets, assoc), dtype=np.int64)
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, pc: int) -> bool:
+        """Look up (and allocate) the target entry for a taken branch."""
+        set_idx = (pc >> 2) % self.n_sets
+        tag = pc >> 2
+        self._clock += 1
+        for way in range(self.assoc):
+            if self._tags[set_idx, way] == tag:
+                self._lru[set_idx, way] = self._clock
+                self.hits += 1
+                return True
+        victim = int(np.argmin(self._lru[set_idx]))
+        self._tags[set_idx, victim] = tag
+        self._lru[set_idx, victim] = self._clock
+        self.misses += 1
+        return False
+
+
+class ReturnAddressStack:
+    """Bounded call/return stack (overflows wrap, as in hardware)."""
+
+    def __init__(self, entries: int = 32):
+        if entries <= 0:
+            raise ConfigurationError(f"RAS entries must be positive, got {entries}")
+        self.entries = entries
+        self._stack = []
+        self.pushes = 0
+        self.mispops = 0
+
+    def push(self, return_pc: int) -> None:
+        """Record a call's return address."""
+        if len(self._stack) >= self.entries:
+            self._stack.pop(0)
+        self._stack.append(return_pc)
+        self.pushes += 1
+
+    def pop(self, actual_return_pc: int) -> bool:
+        """Pop on return; returns True when the prediction was correct."""
+        if not self._stack:
+            self.mispops += 1
+            return False
+        predicted = self._stack.pop()
+        if predicted != actual_return_pc:
+            self.mispops += 1
+            return False
+        return True
+
+
+class FrontEnd:
+    """Convenience bundle of the Table 1 branch hardware."""
+
+    def __init__(self, config: MachineConfig):
+        self.gshare = GsharePredictor(config.branch_predictor_entries,
+                                      config.branch_history_bits)
+        self.btb = BranchTargetBuffer(config.btb_entries, config.btb_assoc)
+        self.ras = ReturnAddressStack(config.ras_entries)
+
+    def resolve_branch(self, pc: int, taken: bool) -> bool:
+        """Predict + train on one conditional branch; True on mispredict."""
+        mispredicted = self.gshare.update(pc, taken)
+        if taken:
+            self.btb.access(pc)
+        return mispredicted

@@ -1,0 +1,198 @@
+"""Set-associative caches and TLBs for the detailed simulator.
+
+True LRU replacement, physically-indexed, with a two-level hierarchy
+helper (:class:`CacheHierarchy`) returning load-to-use latencies the
+pipeline charges to each access.  An analytical miss-curve counterpart
+for sweeps lives in :mod:`repro.uarch.interval_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro._validation import is_power_of_two
+from repro.uarch.params import MachineConfig
+
+
+class SetAssociativeCache:
+    """A set-associative cache with true-LRU replacement.
+
+    Parameters
+    ----------
+    size_kb:
+        Total capacity in KB (power-of-two sets required after dividing
+        by associativity and line size).
+    assoc:
+        Number of ways.
+    line_bytes:
+        Line size in bytes.
+    name:
+        Used in error messages and stat reporting.
+    """
+
+    def __init__(self, size_kb: int, assoc: int, line_bytes: int,
+                 name: str = "cache"):
+        if size_kb <= 0 or assoc <= 0 or line_bytes <= 0:
+            raise ConfigurationError(
+                f"{name}: size/assoc/line must be positive"
+            )
+        total_lines = size_kb * 1024 // line_bytes
+        if total_lines < assoc:
+            raise ConfigurationError(
+                f"{name}: capacity {size_kb}KB too small for "
+                f"{assoc}-way associativity at {line_bytes}B lines"
+            )
+        n_sets = total_lines // assoc
+        if not is_power_of_two(n_sets):
+            raise ConfigurationError(
+                f"{name}: set count {n_sets} is not a power of two"
+            )
+        self.name = name
+        self.line_bytes = line_bytes
+        self.assoc = assoc
+        self.n_sets = n_sets
+        self._set_mask = n_sets - 1
+        self._line_shift = line_bytes.bit_length() - 1
+        # tags[set, way]; -1 = invalid.  lru[set, way]: higher = newer.
+        self._tags = np.full((n_sets, assoc), -1, dtype=np.int64)
+        self._lru = np.zeros((n_sets, assoc), dtype=np.int64)
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Access a byte address; returns True on hit.  Fills on miss."""
+        line = address >> self._line_shift
+        set_idx = line & self._set_mask
+        tag = line >> 0  # full line id as tag (sets distinguished by index)
+        self._clock += 1
+        tags = self._tags[set_idx]
+        for way in range(self.assoc):
+            if tags[way] == tag:
+                self._lru[set_idx, way] = self._clock
+                self.hits += 1
+                return True
+        # Miss: fill LRU way.
+        victim = int(np.argmin(self._lru[set_idx]))
+        self._tags[set_idx, victim] = tag
+        self._lru[set_idx, victim] = self._clock
+        self.misses += 1
+        return False
+
+    def contains(self, address: int) -> bool:
+        """Non-mutating lookup (no fill, no LRU update)."""
+        line = address >> self._line_shift
+        set_idx = line & self._set_mask
+        return bool(np.any(self._tags[set_idx] == line))
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss rate so far (0 when never accessed)."""
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (contents are preserved)."""
+        self.hits = 0
+        self.misses = 0
+
+
+class TLB:
+    """A tiny fully-associative-by-hash TLB model (page-grain LRU cache)."""
+
+    def __init__(self, entries: int, page_bytes: int = 4096,
+                 name: str = "tlb"):
+        if entries <= 0:
+            raise ConfigurationError(f"{name}: entries must be positive")
+        self.name = name
+        self.entries = entries
+        self._page_shift = page_bytes.bit_length() - 1
+        self._resident = {}
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Translate an address; returns True on TLB hit."""
+        page = address >> self._page_shift
+        self._clock += 1
+        if page in self._resident:
+            self._resident[page] = self._clock
+            self.hits += 1
+            return True
+        if len(self._resident) >= self.entries:
+            oldest = min(self._resident, key=self._resident.get)
+            del self._resident[oldest]
+        self._resident[page] = self._clock
+        self.misses += 1
+        return False
+
+
+@dataclass
+class AccessResult:
+    """Latency and hit levels for one memory access."""
+
+    latency: int
+    dl1_hit: bool
+    l2_hit: bool
+    tlb_hit: bool = True
+
+    @property
+    def goes_to_memory(self) -> bool:
+        return not (self.dl1_hit or self.l2_hit)
+
+
+class CacheHierarchy:
+    """IL1 + DL1 + unified L2 + TLBs wired per a :class:`MachineConfig`."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self.il1 = SetAssociativeCache(config.il1_size_kb, config.il1_assoc,
+                                       config.il1_line_bytes, "il1")
+        self.dl1 = SetAssociativeCache(config.dl1_size_kb, config.dl1_assoc,
+                                       config.dl1_line_bytes, "dl1")
+        self.l2 = SetAssociativeCache(config.l2_size_kb, config.l2_assoc,
+                                      config.l2_line_bytes, "l2")
+        self.itlb = TLB(config.itlb_entries, name="itlb")
+        self.dtlb = TLB(config.dtlb_entries, name="dtlb")
+
+    def data_access(self, address: int) -> AccessResult:
+        """Charge a load/store; returns the latency to first use."""
+        cfg = self.config
+        tlb_hit = self.dtlb.access(address)
+        dl1_hit = self.dl1.access(address)
+        if dl1_hit:
+            latency = cfg.dl1_latency
+            l2_hit = True
+        else:
+            l2_hit = self.l2.access(address)
+            latency = cfg.dl1_latency + (
+                cfg.l2_latency if l2_hit
+                else cfg.l2_latency + cfg.memory_latency
+            )
+        if not tlb_hit:
+            latency += cfg.tlb_miss_latency
+        return AccessResult(latency=latency, dl1_hit=dl1_hit,
+                            l2_hit=l2_hit, tlb_hit=tlb_hit)
+
+    def inst_access(self, address: int) -> int:
+        """Charge an instruction fetch; returns front-end bubble cycles."""
+        cfg = self.config
+        tlb_hit = self.itlb.access(address)
+        il1_hit = self.il1.access(address)
+        bubble = 0
+        if not il1_hit:
+            bubble = cfg.l2_latency if self.l2.access(address) else (
+                cfg.l2_latency + cfg.memory_latency
+            )
+        if not tlb_hit:
+            bubble += cfg.tlb_miss_latency
+        return bubble

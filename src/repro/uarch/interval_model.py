@@ -1,0 +1,330 @@
+"""Fast first-order superscalar performance model (the sweep backend).
+
+The paper's data comes from ~3,000 detailed simulations (12 benchmarks x
+250 configurations).  Detailed cycle-level simulation in Python at that
+scale is intractable, so the design-space sweeps run this *interval
+model*: a vectorized first-order out-of-order processor model in the
+tradition of Karkhanis & Smith's interval analysis — a base steady-state
+IPC set by width / inherent ILP / in-flight window, degraded by additive
+miss-event penalties (branch mispredictions, IL1 / DL1 / L2 misses) with
+window- and MLP-based overlap corrections.
+
+Every quantity is computed per trace sample (the per-phase workload
+attributes are already per-sample arrays), so one call produces the
+whole 128-sample CPI/power/AVF dynamics for a (workload, configuration)
+pair in a few hundred microseconds.
+
+A seeded, deterministic noise texture (see
+:class:`~repro.workloads.phases.NoiseModel`) models the simulation
+effects a config->trace predictor cannot see, giving prediction error a
+realistic floor.
+
+The detailed cycle-level simulator in :mod:`repro.uarch.detailed` is the
+reference implementation these first-order equations are validated
+against (see ``tests/test_backend_agreement.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro._validation import stable_hash
+from repro.errors import SimulationError
+from repro.power.wattch import WattchModel
+from repro.reliability.avf import AVFModel, structure_capacity_bits
+from repro.reliability.dvm import DVMPolicy
+from repro.uarch.params import MachineConfig
+from repro.workloads.phases import WorkloadModel
+
+#: Miss-curve smoothing (log2-KB units): how sharply an access stream
+#: transitions from hitting to missing as its working set crosses the
+#: cache capacity.
+_DL1_SHARPNESS = 0.7
+_L2_SHARPNESS = 0.9
+_IL1_SHARPNESS = 0.5
+
+#: IL1 probes per instruction (fetch-block granularity).
+_IL1_ACCESS_PER_INST = 0.25
+
+#: Fraction of the issue queue assumed occupied by waiting instructions
+#: when sizing the effective window (IQ binds only when small).
+_IQ_WAITING_SHARE = 0.45
+
+#: Dispatch inefficiency: achievable throughput as a fraction of width.
+_DISPATCH_EFFICIENCY = 0.92
+
+#: Residual overlap of long-latency misses beyond explicit MLP
+#: bookkeeping (run-ahead effects, hardware prefetch, write buffering).
+_MEMORY_OVERLAP = 0.6
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-z))
+
+
+@dataclass(frozen=True)
+class IntervalSimResult:
+    """Per-sample traces produced by one interval-model run."""
+
+    benchmark: str
+    config: MachineConfig
+    n_samples: int
+    cpi: np.ndarray
+    power: np.ndarray
+    avf: np.ndarray
+    iq_avf: np.ndarray
+    components: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> np.ndarray:
+        """Instructions per cycle, the reciprocal CPI trace."""
+        return 1.0 / self.cpi
+
+    def trace(self, domain: str) -> np.ndarray:
+        """Trace lookup by domain name ("cpi", "power", "avf", "iq_avf")."""
+        try:
+            return {"cpi": self.cpi, "power": self.power,
+                    "avf": self.avf, "iq_avf": self.iq_avf,
+                    "ipc": self.ipc}[domain]
+        except KeyError:
+            raise SimulationError(f"unknown trace domain {domain!r}") from None
+
+
+def _mixed_miss_rates(workload: WorkloadModel, config: MachineConfig,
+                      n_samples: int) -> Dict[str, np.ndarray]:
+    """Per-sample DL1 / L2 / IL1 miss rates from the footprint mixtures.
+
+    An access component with working set ``2**fp`` KB misses a cache of
+    ``C`` KB with probability ``sigmoid((fp - log2 C) / sharpness)`` —
+    the smoothed capacity-miss model; per-phase rates are then mixed by
+    the schedule's phase weights.
+    """
+    weights = workload.phase_weights(n_samples)
+    fp_log2, fp_w = workload.footprint_components()
+
+    log2_dl1 = np.log2(config.dl1_size_kb)
+    log2_l2 = np.log2(config.l2_size_kb)
+
+    dl1_capacity = np.sum(
+        fp_w * _sigmoid((fp_log2 - log2_dl1) / _DL1_SHARPNESS), axis=1
+    )
+    l2_capacity = np.sum(
+        fp_w * _sigmoid((fp_log2 - log2_l2) / _L2_SHARPNESS), axis=1
+    )
+    stream = workload.phase_vector("l2_stream_fraction")
+    compulsory = workload.phase_vector("dl1_compulsory")
+
+    dl1_phase = np.clip(compulsory + stream + dl1_capacity, 0.0, 1.0)
+    l2_phase = np.clip(stream + l2_capacity, 0.0, dl1_phase)
+
+    inst_fp = workload.phase_vector("inst_footprint_log2kb")
+    il1_phase = np.clip(
+        0.004 + 0.6 * _sigmoid((inst_fp - np.log2(config.il1_size_kb))
+                               / _IL1_SHARPNESS),
+        0.0, 1.0,
+    )
+
+    return {
+        "dl1": weights @ dl1_phase,      # misses per data access
+        "l2": weights @ l2_phase,        # memory accesses per data access
+        "il1": weights @ il1_phase,      # misses per IL1 probe
+    }
+
+
+def _performance(workload: WorkloadModel, config: MachineConfig,
+                 n_samples: int) -> Dict[str, np.ndarray]:
+    """Per-sample CPI and its additive components."""
+    attrs = workload.attributes(n_samples)
+    miss = _mixed_miss_rates(workload, config, n_samples)
+
+    f_load = attrs["f_load"]
+    f_mem = attrs["f_load"] + attrs["f_store"]
+    f_branch = attrs["f_branch"]
+
+    # ---- effective in-flight window --------------------------------
+    window = np.minimum(
+        float(config.rob_size),
+        np.minimum(config.iq_size / _IQ_WAITING_SHARE,
+                   config.lsq_size / np.maximum(f_mem, 1e-6)),
+    )
+
+    # ---- steady-state IPC -------------------------------------------
+    ilp_window = attrs["ilp_limit"] * window / (window + attrs["ilp_halfwindow"])
+    width_cap = _DISPATCH_EFFICIENCY * config.fetch_width
+    port_cap = config.mem_ports / np.maximum(f_mem, 1e-6)
+    ipc0 = np.minimum(np.minimum(width_cap, ilp_window), port_cap)
+    cpi_base = 1.0 / ipc0
+
+    # ---- branch mispredictions --------------------------------------
+    refill = config.pipeline_depth + 0.25 * window / ipc0
+    cpi_branch = f_branch * attrs["branch_mispredict"] * refill
+
+    # ---- DL1 hit latency on dependence chains ------------------------
+    hiding = attrs["ilp_halfwindow"] / (window + attrs["ilp_halfwindow"])
+    cpi_dl1_lat = (f_load * attrs["load_use_weight"]
+                   * (config.dl1_latency - 1) * (2.0 * hiding + 0.2))
+
+    # ---- DL1 miss, L2 hit --------------------------------------------
+    l2hit_events = f_mem * np.maximum(miss["dl1"] - miss["l2"], 0.0)
+    lat_l2 = float(config.l2_latency - config.dl1_latency)
+    exposure = _sigmoid((lat_l2 - 0.3 * window / ipc0) / 4.0)
+    mlp_short = 1.0 + (attrs["mlp"] - 1.0) * 0.4
+    cpi_l2hit = l2hit_events * lat_l2 * exposure / mlp_short
+
+    # ---- L2 miss (memory) --------------------------------------------
+    mem_events = f_mem * miss["l2"]
+    mlp_long = 1.0 + (attrs["mlp"] - 1.0) * np.clip(
+        np.minimum(config.lsq_size / 32.0, window / 96.0), 0.0, 1.0
+    )
+    mem_lat = float(config.memory_latency + config.l2_latency)
+    hide = np.clip(window / (ipc0 * mem_lat), 0.0, 0.35)
+    cpi_mem = _MEMORY_OVERLAP * mem_events * mem_lat * (1.0 - hide) / mlp_long
+
+    # ---- IL1 misses (front-end bubbles, mostly L2 hits) ---------------
+    il1_events = _IL1_ACCESS_PER_INST * miss["il1"]
+    cpi_il1 = il1_events * config.l2_latency * 0.7
+
+    cpi = cpi_base + cpi_branch + cpi_dl1_lat + cpi_l2hit + cpi_mem + cpi_il1
+    mem_stall = (cpi_l2hit + cpi_mem) / cpi
+    waiting_frac = np.clip(1.0 - ilp_window / width_cap, 0.0, 1.0)
+
+    return {
+        "cpi": cpi,
+        "ipc": 1.0 / cpi,
+        "cpi_base": cpi_base,
+        "cpi_branch": cpi_branch,
+        "cpi_dl1_lat": cpi_dl1_lat,
+        "cpi_l2hit": cpi_l2hit,
+        "cpi_mem": cpi_mem,
+        "cpi_il1": cpi_il1,
+        "mem_stall_frac": mem_stall,
+        "waiting_frac": waiting_frac,
+        "window": window * np.ones(n_samples),
+        "dl1_miss_rate": miss["dl1"],
+        "l2_miss_rate": miss["l2"],
+        "il1_miss_rate": miss["il1"],
+        "f_mem": f_mem,
+    }
+
+
+def _persistence_smooth(trace: np.ndarray, alpha: float = 0.3) -> np.ndarray:
+    """Occupancy persistence across sampling intervals.
+
+    Queue occupancy (and hence AVF) is integrated state: it fills and
+    drains over many cycles, carrying across interval boundaries.  A
+    forward exponential filter (fill/drain time constant of a couple of
+    intervals) followed by one short symmetric pass models that
+    carry-over, low-passing the occupancy traces relative to the
+    instantaneous-rate traces (CPI, power).
+    """
+    out = np.empty_like(trace)
+    acc = trace[0]
+    for i, x in enumerate(trace):
+        acc = alpha * x + (1.0 - alpha) * acc
+        out[i] = acc
+    padded = np.concatenate([out[:1], out, out[-1:]])
+    return 0.25 * padded[:-2] + 0.5 * padded[1:-1] + 0.25 * padded[2:]
+
+
+def _noise(trace: np.ndarray, level: float, rng: np.random.Generator) -> np.ndarray:
+    """Deterministic texture: Gaussian at ``level`` x the trace's std."""
+    if level <= 0.0:
+        return trace
+    scale = level * float(np.std(trace))
+    if scale == 0.0:
+        scale = level * max(abs(float(np.mean(trace))), 1e-12) * 0.1
+    return trace + rng.normal(scale=scale, size=trace.shape)
+
+
+def simulate_interval(workload: WorkloadModel, config: MachineConfig,
+                      n_samples: int = 128,
+                      dvm_policy: Optional[DVMPolicy] = None,
+                      noise: bool = True) -> IntervalSimResult:
+    """Run the interval model for one (workload, configuration) pair.
+
+    Parameters
+    ----------
+    workload:
+        A :class:`~repro.workloads.phases.WorkloadModel`.
+    config:
+        Machine configuration; if ``config.dvm_enabled`` the DVM policy
+        (``dvm_policy`` or one built from ``config.dvm_threshold``) is
+        applied to the IQ AVF and CPI traces.
+    n_samples:
+        Trace resolution (power of two <= 1024; the paper uses 128).
+    noise:
+        Apply the deterministic measurement texture (disable for exact
+        model-equation tests).
+    """
+    perf = _performance(workload, config, n_samples)
+    attrs = workload.attributes(n_samples)
+
+    avf_model = AVFModel(config)
+    avf = avf_model.avf_traces(
+        perf["ipc"], perf["mem_stall_frac"], attrs["ace_fraction"],
+        perf["f_mem"], perf["window"], perf["waiting_frac"],
+    )
+    iq_avf = avf["iq"]
+    cpi = perf["cpi"]
+
+    dvm_engaged = np.zeros(n_samples)
+    if config.dvm_enabled:
+        policy = dvm_policy or DVMPolicy(threshold=config.dvm_threshold)
+        iq_avf, cpi, dvm_engaged = policy.apply_interval_effect(
+            iq_avf, cpi, config, perf["mem_stall_frac"]
+        )
+
+    # Occupancy state persists across interval boundaries.
+    iq_avf = _persistence_smooth(iq_avf)
+
+    # Processor AVF re-weighted with the (possibly DVM-managed) IQ AVF.
+    bits = structure_capacity_bits(config)
+    total_bits = sum(bits.values())
+    processor_avf = (
+        iq_avf * bits["iq"]
+        + _persistence_smooth(avf["rob"]) * bits["rob"]
+        + _persistence_smooth(avf["lsq"]) * bits["lsq"]
+        + _persistence_smooth(avf["regfile"]) * bits["regfile"]
+    ) / total_bits
+
+    ipc = 1.0 / cpi
+    mix = {k: attrs[k] for k in ("f_load", "f_store", "f_branch", "f_fp")}
+    power = WattchModel(config).power_trace(
+        ipc, mix, perf["dl1_miss_rate"],
+        _IL1_ACCESS_PER_INST * perf["il1_miss_rate"],
+    )
+
+    if noise:
+        seed = stable_hash(workload.name, config.key(), n_samples)
+        rng = np.random.default_rng(seed)
+        cpi = np.maximum(_noise(cpi, workload.noise.cpi, rng), 0.05)
+        power = np.maximum(_noise(power, workload.noise.power, rng), 1.0)
+        processor_avf = np.clip(
+            _noise(processor_avf, workload.noise.avf, rng), 0.0, 1.0
+        )
+        iq_avf = np.clip(_noise(iq_avf, workload.noise.avf, rng), 0.0, 1.0)
+
+    components = {
+        k: perf[k] for k in (
+            "cpi_base", "cpi_branch", "cpi_dl1_lat", "cpi_l2hit",
+            "cpi_mem", "cpi_il1", "mem_stall_frac", "waiting_frac",
+            "dl1_miss_rate", "l2_miss_rate", "il1_miss_rate",
+        )
+    }
+    components["dvm_engaged"] = dvm_engaged
+    components["rob_avf"] = avf["rob"]
+    components["lsq_avf"] = avf["lsq"]
+
+    return IntervalSimResult(
+        benchmark=workload.name,
+        config=config,
+        n_samples=n_samples,
+        cpi=cpi,
+        power=power,
+        avf=processor_avf,
+        iq_avf=iq_avf,
+        components=components,
+    )

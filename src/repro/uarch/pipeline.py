@@ -1,0 +1,315 @@
+"""Cycle-level out-of-order pipeline model.
+
+A trace-driven superscalar core with the Table 1 organization: wide
+fetch with gshare/BTB/RAS and IL1 bubbles, register renaming implied by
+dependence distances, a unified issue queue with wakeup/select, a
+load/store queue, per-class functional units, a reorder buffer with
+in-order commit, and miss-driven back-pressure through the two-level
+cache hierarchy.
+
+The model is *trace-driven*: mispredicted branches charge a front-end
+redirect penalty (fetch resumes ``pipeline_depth`` cycles after the
+branch resolves) rather than executing wrong-path instructions — the
+standard trace-driven approximation.
+
+Per-cycle ACE-bit residency counters implement the Mukherjee AVF
+methodology exactly; per-structure event counters feed the Wattch power
+model.  The optional :class:`~repro.reliability.dvm.DVMController`
+gates dispatch per the paper's Figure 16 pseudocode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.reliability.avf import STRUCTURE_BITS
+from repro.reliability.dvm import DVMController
+from repro.uarch.branch import FrontEnd
+from repro.uarch.caches import CacheHierarchy
+from repro.uarch.params import MachineConfig
+from repro.uarch.trace import EXEC_LATENCY, InstructionTrace, OpClass
+
+#: Safety valve: abort an interval that exceeds this many cycles per
+#: instruction (indicates a deadlocked model, which is a bug).
+_MAX_CPI = 400
+
+
+class _InFlight:
+    """One in-flight instruction (ROB entry)."""
+
+    __slots__ = ("index", "op", "ace", "is_mem", "issued", "ready_cycle",
+                 "mispredict", "src1", "src2")
+
+    def __init__(self, index: int, op: int, ace: bool, src1: int, src2: int):
+        self.index = index
+        self.op = op
+        self.ace = ace
+        self.is_mem = op in (OpClass.LOAD, OpClass.STORE)
+        self.issued = False
+        self.ready_cycle: Optional[int] = None   # set when issued
+        self.mispredict = False
+        self.src1 = src1
+        self.src2 = src2
+
+
+@dataclass
+class IntervalStats:
+    """Raw statistics for one simulated trace interval."""
+
+    instructions: int = 0
+    cycles: int = 0
+    counters: Dict[str, float] = field(default_factory=dict)
+    ace_bit_cycles: Dict[str, float] = field(default_factory=dict)
+    branch_mispredicts: int = 0
+    dvm_throttled_cycles: int = 0
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per committed instruction."""
+        if self.instructions == 0:
+            raise SimulationError("interval committed no instructions")
+        return self.cycles / self.instructions
+
+
+class OutOfOrderCore:
+    """The detailed core; state (caches, predictor) persists across
+    intervals so later intervals see warmed structures, like the paper's
+    contiguous 200M-instruction simulations."""
+
+    def __init__(self, config: MachineConfig,
+                 dvm: Optional[DVMController] = None):
+        self.config = config
+        self.hierarchy = CacheHierarchy(config)
+        self.front_end = FrontEnd(config)
+        self.dvm = dvm
+        # Completion cycle of every producer seen so far (absolute trace
+        # index -> cycle its result is available).  The cycle counter is
+        # global across intervals so cross-interval dependences resolve
+        # in the same time base.
+        self._complete_cycle: Dict[int, int] = {}
+        self._global_index = 0
+        self._cycle = 0
+        # DVM online-AVF bookkeeping.
+        self._dvm_window_ace = 0.0
+        self._dvm_window_cycles = 0
+        self._dvm_sample_period = 200
+        self._last_waiting = 0
+        self._last_ready = 0
+
+    # ------------------------------------------------------------------
+    def run_interval(self, trace: InstructionTrace) -> IntervalStats:
+        """Simulate one interval; returns its raw statistics."""
+        cfg = self.config
+        stats = IntervalStats(instructions=len(trace))
+        counters = {k: 0.0 for k in (
+            "fetch_il1", "rename", "issue_queue", "rob", "regfile",
+            "alu_int", "alu_fp", "lsq", "dl1", "l2", "instructions",
+        )}
+        ace_cycles = {"iq": 0.0, "rob": 0.0, "lsq": 0.0, "regfile": 0.0}
+
+        rob: List[_InFlight] = []
+        iq: List[_InFlight] = []
+        lsq_count = 0
+        iq_ace = rob_ace = lsq_ace = 0
+
+        n = len(trace)
+        fetch_ptr = 0          # next trace index to fetch
+        dispatch_ptr = 0       # next fetched-but-not-dispatched index
+        fetch_stall_until = 0
+        last_fetch_line = -1
+        outstanding_l2_misses: List[int] = []  # completion cycles
+        start_cycle = self._cycle
+        cycle = self._cycle
+        committed = 0
+        max_cycles = start_cycle + max(n * _MAX_CPI, 10_000)
+
+        while committed < n:
+            cycle += 1
+            if cycle > max_cycles:
+                raise SimulationError(
+                    f"interval exceeded {_MAX_CPI} CPI — model deadlock"
+                )
+
+            # ---------------- commit ---------------------------------
+            commits = 0
+            while rob and commits < cfg.fetch_width:
+                head = rob[0]
+                if not head.issued or head.ready_cycle > cycle:
+                    break
+                rob.pop(0)
+                rob_ace -= head.ace
+                if head.is_mem:
+                    lsq_count -= 1
+                    lsq_ace -= head.ace
+                if head.mispredict:
+                    stats.branch_mispredicts += 1
+                commits += 1
+                committed += 1
+                counters["rob"] += 1.0
+                counters["instructions"] += 1.0
+
+            # ---------------- issue ----------------------------------
+            outstanding_l2_misses = [c for c in outstanding_l2_misses
+                                     if c > cycle]
+            fu_free = {OpClass.INT_ALU: cfg.int_alu, OpClass.FP_ALU: cfg.fp_alu,
+                       OpClass.BRANCH: cfg.int_alu, OpClass.LOAD: cfg.mem_ports,
+                       OpClass.STORE: cfg.mem_ports}
+            issued = 0
+            ready_count = 0
+            still_waiting: List[_InFlight] = []
+            for entry in iq:
+                if issued >= cfg.fetch_width:
+                    still_waiting.append(entry)
+                    continue
+                src_ready = True
+                for dist, producer in ((entry.src1, entry.index - entry.src1),
+                                       (entry.src2, entry.index - entry.src2)):
+                    if dist > 0 and producer >= 0:
+                        done = self._complete_cycle.get(producer)
+                        if done is not None and done > cycle:
+                            src_ready = False
+                            break
+                if not src_ready:
+                    still_waiting.append(entry)
+                    continue
+                ready_count += 1
+                op = OpClass(entry.op)
+                if fu_free[op] <= 0:
+                    still_waiting.append(entry)
+                    continue
+                fu_free[op] -= 1
+                latency = EXEC_LATENCY[op]
+                if op == OpClass.LOAD:
+                    result = self.hierarchy.data_access(
+                        int(trace.address[entry.index - self._global_index])
+                    )
+                    latency += result.latency
+                    counters["dl1"] += 1.0
+                    if not result.dl1_hit:
+                        counters["l2"] += 1.0
+                    if result.goes_to_memory:
+                        outstanding_l2_misses.append(cycle + latency)
+                elif op == OpClass.STORE:
+                    result = self.hierarchy.data_access(
+                        int(trace.address[entry.index - self._global_index])
+                    )
+                    counters["dl1"] += 1.0
+                    if not result.dl1_hit:
+                        counters["l2"] += 1.0
+                    latency += 1  # stores retire from the LSQ post-commit
+                elif op == OpClass.BRANCH:
+                    local = entry.index - self._global_index
+                    mispredicted = self.front_end.resolve_branch(
+                        int(trace.pc[local]), bool(trace.taken[local])
+                    )
+                    if mispredicted:
+                        entry.mispredict = True
+                        fetch_stall_until = max(
+                            fetch_stall_until,
+                            cycle + latency + cfg.pipeline_depth,
+                        )
+                entry.issued = True
+                entry.ready_cycle = cycle + latency
+                self._complete_cycle[entry.index] = cycle + latency
+                issued += 1
+                iq_ace -= entry.ace
+                counters["issue_queue"] += 1.0
+                counters["regfile"] += 2.0
+                if op in (OpClass.INT_ALU, OpClass.BRANCH):
+                    counters["alu_int"] += 1.0
+                elif op == OpClass.FP_ALU:
+                    counters["alu_fp"] += 1.0
+                if entry.is_mem:
+                    counters["lsq"] += 1.0
+            iq = still_waiting
+            self._last_waiting = len(iq) - ready_count if len(iq) > ready_count else 0
+            self._last_ready = ready_count
+
+            # ---------------- dispatch -------------------------------
+            throttled = False
+            if self.dvm is not None:
+                throttled = self.dvm.should_throttle(
+                    self._last_waiting, self._last_ready,
+                    bool(outstanding_l2_misses),
+                )
+                if throttled:
+                    stats.dvm_throttled_cycles += 1
+            if not throttled:
+                dispatched = 0
+                while (dispatched < cfg.fetch_width
+                       and dispatch_ptr < fetch_ptr
+                       and len(rob) < cfg.rob_size
+                       and len(iq) < cfg.iq_size):
+                    local = dispatch_ptr
+                    op = int(trace.op[local])
+                    is_mem = op in (OpClass.LOAD, OpClass.STORE)
+                    if is_mem and lsq_count >= cfg.lsq_size:
+                        break
+                    entry = _InFlight(
+                        self._global_index + local, op, bool(trace.ace[local]),
+                        int(trace.src1_dist[local]), int(trace.src2_dist[local]),
+                    )
+                    rob.append(entry)
+                    iq.append(entry)
+                    rob_ace += entry.ace
+                    iq_ace += entry.ace
+                    if is_mem:
+                        lsq_count += 1
+                        lsq_ace += entry.ace
+                    dispatch_ptr += 1
+                    dispatched += 1
+                    counters["rename"] += 1.0
+                    counters["rob"] += 1.0
+
+            # ---------------- fetch ----------------------------------
+            if cycle >= fetch_stall_until:
+                fetched = 0
+                while (fetched < cfg.fetch_width and fetch_ptr < n
+                       and fetch_ptr - dispatch_ptr < 2 * cfg.fetch_width):
+                    line = int(trace.pc[fetch_ptr]) // cfg.il1_line_bytes
+                    if line != last_fetch_line:
+                        bubble = self.hierarchy.inst_access(int(trace.pc[fetch_ptr]))
+                        counters["fetch_il1"] += 1.0
+                        last_fetch_line = line
+                        if bubble:
+                            fetch_stall_until = cycle + bubble
+                            break
+                    is_taken_branch = (trace.op[fetch_ptr] == OpClass.BRANCH
+                                       and trace.taken[fetch_ptr])
+                    fetch_ptr += 1
+                    fetched += 1
+                    if is_taken_branch:
+                        break  # taken branch ends the fetch block
+
+            # ---------------- AVF residency --------------------------
+            ace_cycles["iq"] += iq_ace * STRUCTURE_BITS["iq"]
+            ace_cycles["rob"] += rob_ace * STRUCTURE_BITS["rob"]
+            ace_cycles["lsq"] += lsq_ace * STRUCTURE_BITS["lsq"]
+            # Live architectural registers scale with in-flight window.
+            ace_cycles["regfile"] += (32 + 0.5 * len(rob)) * STRUCTURE_BITS["regfile"] * 0.45
+
+            # ---------------- DVM sampling ---------------------------
+            if self.dvm is not None:
+                self._dvm_window_ace += iq_ace
+                self._dvm_window_cycles += 1
+                if self._dvm_window_cycles >= self._dvm_sample_period:
+                    online_avf = (self._dvm_window_ace
+                                  / (self._dvm_window_cycles * cfg.iq_size))
+                    self.dvm.on_sample(online_avf)
+                    self._dvm_window_ace = 0.0
+                    self._dvm_window_cycles = 0
+
+        self._global_index += n
+        self._cycle = cycle
+        stats.cycles = cycle - start_cycle
+        stats.counters = counters
+        stats.ace_bit_cycles = ace_cycles
+        # Old producers can never be read again once the window passed.
+        if len(self._complete_cycle) > 4096:
+            horizon = self._global_index - 1024
+            self._complete_cycle = {
+                k: v for k, v in self._complete_cycle.items() if k >= horizon
+            }
+        return stats

@@ -1,0 +1,125 @@
+"""Unified simulation facade.
+
+:class:`Simulator` hides the backend choice:
+
+* ``backend="interval"`` — the fast vectorized first-order model
+  (:mod:`repro.uarch.interval_model`), used for design-space sweeps;
+* ``backend="detailed"`` — the cycle-level out-of-order pipeline
+  (:mod:`repro.uarch.detailed`), used for mechanism studies and for
+  validating the interval model.
+
+Both produce a :class:`SimulationResult` holding the per-interval
+CPI / power / AVF / IQ-AVF traces the predictive models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.uarch.params import MachineConfig
+from repro.workloads.phases import WorkloadModel
+from repro.workloads.spec2000 import get_benchmark
+
+#: Trace domains every backend must produce.
+DOMAINS = ("cpi", "power", "avf", "iq_avf")
+
+#: Supported backends.
+BACKENDS = ("interval", "detailed")
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Per-interval workload dynamics for one (benchmark, config) run."""
+
+    benchmark: str
+    config: MachineConfig
+    n_samples: int
+    backend: str
+    traces: Dict[str, np.ndarray]
+    components: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def trace(self, domain: str) -> np.ndarray:
+        """The dynamics trace for one domain ("cpi", "power", ...)."""
+        if domain == "ipc":
+            return 1.0 / self.traces["cpi"]
+        if domain not in self.traces:
+            raise SimulationError(
+                f"unknown domain {domain!r}; have {sorted(self.traces)}"
+            )
+        return self.traces[domain]
+
+    def aggregate(self, domain: str) -> float:
+        """Whole-run mean of a domain (what global models predict)."""
+        return float(np.mean(self.trace(domain)))
+
+
+class Simulator:
+    """Runs workloads over machine configurations.
+
+    Parameters
+    ----------
+    backend:
+        ``"interval"`` (default, fast) or ``"detailed"`` (cycle-level).
+    noise:
+        Whether the interval backend adds its deterministic measurement
+        texture; ignored by the detailed backend (whose nondeterminism is
+        organic).
+
+    Examples
+    --------
+    >>> from repro.uarch.params import baseline_config
+    >>> sim = Simulator()
+    >>> result = sim.run("gcc", baseline_config(), n_samples=128)
+    >>> result.trace("cpi").shape
+    (128,)
+    """
+
+    def __init__(self, backend: str = "interval", noise: bool = True):
+        if backend not in BACKENDS:
+            raise SimulationError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}"
+            )
+        self.backend = backend
+        self.noise = noise
+
+    def run(self, workload: Union[str, WorkloadModel], config: MachineConfig,
+            n_samples: int = 128,
+            instructions_per_sample: int = 1000) -> SimulationResult:
+        """Simulate one (workload, configuration) pair.
+
+        Parameters
+        ----------
+        workload:
+            Benchmark name or a :class:`WorkloadModel`.
+        config:
+            Machine configuration (with or without DVM enabled).
+        n_samples:
+            Trace resolution; the paper's default is 128.
+        instructions_per_sample:
+            Detailed backend only: synthetic instructions simulated per
+            trace interval (the paper uses 200M/128 per interval; the
+            synthetic traces need far fewer for stable statistics).
+        """
+        if isinstance(workload, str):
+            workload = get_benchmark(workload)
+        if self.backend == "interval":
+            from repro.uarch.interval_model import simulate_interval
+
+            res = simulate_interval(workload, config, n_samples,
+                                    noise=self.noise)
+            traces = {"cpi": res.cpi, "power": res.power,
+                      "avf": res.avf, "iq_avf": res.iq_avf}
+            return SimulationResult(
+                benchmark=workload.name, config=config,
+                n_samples=n_samples, backend="interval",
+                traces=traces, components=res.components,
+            )
+        from repro.uarch.detailed import DetailedSimulator
+
+        detailed = DetailedSimulator(config)
+        return detailed.run(workload, n_samples=n_samples,
+                            instructions_per_sample=instructions_per_sample)

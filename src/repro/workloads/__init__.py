@@ -1,0 +1,32 @@
+"""Synthetic SPEC CPU 2000 workload models.
+
+The paper simulates one SimPoint region (200M instructions) of twelve
+SPEC CPU 2000 benchmarks.  Without SPEC binaries and SimpleScalar we
+substitute *statistical workload models* (Eeckhout-style statistical
+simulation): each benchmark is a set of phase profiles — instruction mix,
+inherent ILP, branch predictability, reuse-distance footprint mixture,
+memory-level parallelism, ACE fraction — plus a deterministic phase
+schedule giving the benchmark its characteristic time-varying behaviour.
+
+``phases``
+    :class:`~repro.workloads.phases.PhaseProfile`,
+    :class:`~repro.workloads.phases.WorkloadModel` and schedule builders.
+``spec2000``
+    The twelve benchmark definitions (bzip2 ... vpr).
+``generator``
+    Concrete instruction-trace synthesis for the detailed simulator.
+``simpoint``
+    BBV + k-means representative-interval selection.
+"""
+
+from repro.workloads.phases import PhaseProfile, WorkloadModel, NoiseModel
+from repro.workloads.spec2000 import get_benchmark, list_benchmarks, BENCHMARK_NAMES
+
+__all__ = [
+    "PhaseProfile",
+    "WorkloadModel",
+    "NoiseModel",
+    "get_benchmark",
+    "list_benchmarks",
+    "BENCHMARK_NAMES",
+]

@@ -1,0 +1,133 @@
+"""SimPoint-style representative-interval selection (BBV + k-means).
+
+The paper "use[s] the Simpoint tool to pick the most representative
+simulation point for each benchmark" (Section 3, citing Sherwood et
+al.).  This module implements the same idea at our synthetic scale:
+
+1. build a Basic Block Vector (BBV) per execution interval — here the
+   phase-occupancy vector doubles as the BBV, exactly the role basic
+   block frequencies play for real binaries;
+2. cluster the interval vectors with k-means (random restarts,
+   Lloyd's algorithm in pure numpy);
+3. pick the interval closest to the largest cluster's centroid as the
+   representative simulation point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro._validation import as_2d_float_array, rng_from_seed
+from repro.errors import WorkloadError
+from repro.workloads.phases import WorkloadModel
+
+
+def kmeans(data, k: int, n_restarts: int = 5, max_iter: int = 100,
+           seed=0) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Plain Lloyd's k-means with restarts.
+
+    Returns ``(labels, centroids, inertia)`` of the best restart.
+    """
+    X = as_2d_float_array(data, name="data")
+    n = X.shape[0]
+    if not 1 <= k <= n:
+        raise WorkloadError(f"k must be in [1, {n}], got {k}")
+    rng = rng_from_seed(seed)
+    best = None
+    for _ in range(n_restarts):
+        centroids = X[rng.choice(n, size=k, replace=False)].copy()
+        labels = np.zeros(n, dtype=int)
+        for _ in range(max_iter):
+            dists = np.linalg.norm(X[:, None, :] - centroids[None, :, :], axis=2)
+            new_labels = np.argmin(dists, axis=1)
+            if np.array_equal(new_labels, labels) and _ > 0:
+                break
+            labels = new_labels
+            for j in range(k):
+                members = X[labels == j]
+                if members.size:
+                    centroids[j] = members.mean(axis=0)
+                else:  # re-seed empty cluster at the farthest point
+                    far = int(np.argmax(np.min(dists, axis=1)))
+                    centroids[j] = X[far]
+        inertia = float(np.sum(
+            (X - centroids[labels]) ** 2
+        ))
+        if best is None or inertia < best[2]:
+            best = (labels.copy(), centroids.copy(), inertia)
+    return best
+
+
+def bayesian_information_criterion(data, labels, centroids) -> float:
+    """Schwarz BIC score used by SimPoint to pick the cluster count.
+
+    Higher is better (likelihood reward minus parameter penalty).
+    """
+    X = as_2d_float_array(data, name="data")
+    n, d = X.shape
+    k = centroids.shape[0]
+    rss = float(np.sum((X - centroids[labels]) ** 2))
+    variance = max(rss / max(n - k, 1), 1e-12)
+    log_likelihood = -0.5 * n * np.log(2 * np.pi * variance) - 0.5 * (n - k)
+    n_params = k * (d + 1)
+    return float(log_likelihood - 0.5 * n_params * np.log(n))
+
+
+@dataclass(frozen=True)
+class SimPointResult:
+    """Outcome of representative-interval selection."""
+
+    representative_interval: int
+    n_clusters: int
+    labels: np.ndarray
+    cluster_weights: np.ndarray
+
+    @property
+    def dominant_cluster(self) -> int:
+        """Index of the most-populated cluster."""
+        return int(np.argmax(self.cluster_weights))
+
+
+def pick_simpoint(workload: WorkloadModel, n_intervals: int = 64,
+                  max_clusters: int = 6, seed: int = 0,
+                  n_clusters: Optional[int] = None) -> SimPointResult:
+    """Select the representative interval of a workload.
+
+    Parameters
+    ----------
+    workload:
+        The workload model; its phase-occupancy vectors per interval
+        serve as BBVs.
+    n_intervals:
+        Number of execution intervals considered.
+    max_clusters:
+        Upper bound for the BIC search over cluster counts.
+    n_clusters:
+        Fix the cluster count instead of BIC-searching.
+    """
+    bbv = workload.phase_weights(n_intervals)
+    if n_clusters is not None:
+        labels, centroids, _ = kmeans(bbv, n_clusters, seed=seed)
+        k = n_clusters
+    else:
+        best_score, best_fit, k = -np.inf, None, 1
+        for kk in range(1, min(max_clusters, n_intervals) + 1):
+            labels, centroids, _ = kmeans(bbv, kk, seed=seed)
+            score = bayesian_information_criterion(bbv, labels, centroids)
+            if score > best_score:
+                best_score, best_fit, k = score, (labels, centroids), kk
+        labels, centroids = best_fit
+    weights = np.bincount(labels, minlength=k).astype(float) / n_intervals
+    dominant = int(np.argmax(weights))
+    members = np.nonzero(labels == dominant)[0]
+    dists = np.linalg.norm(bbv[members] - centroids[dominant], axis=1)
+    representative = int(members[np.argmin(dists)])
+    return SimPointResult(
+        representative_interval=representative,
+        n_clusters=k,
+        labels=labels,
+        cluster_weights=weights,
+    )

@@ -1,0 +1,456 @@
+"""The twelve synthetic SPEC CPU 2000 benchmark models.
+
+The paper evaluates on ``bzip2, crafty, eon, gap, gcc, mcf, parser,
+perlbmk, twolf, swim, vortex, vpr`` (Section 3).  Each model below is a
+statistical stand-in whose phase parameters follow the literature's
+qualitative characterization of the real benchmark (memory-boundedness,
+branchiness, inherent ILP, working-set sizes, phase complexity), and
+whose schedule gives it distinctive time-varying behaviour:
+
+* **mcf** is deeply memory-bound with multi-megabyte working sets and
+  spiky dynamics — the hardest benchmark to predict (highest MSE in the
+  paper's Figure 8).
+* **swim** is a regular FP stencil with smooth periodic dynamics — the
+  easiest (0.5 % median CPI MSE in the paper).
+* **gcc** has many short irregular phases (the paper uses it for its
+  Figure 3/4 wavelet illustrations and the Figure 17 DVM case study).
+* **gap**'s interpreter work alternates with garbage-collection-like
+  bursts, producing the wide CPI swings of Figure 1.
+* **vpr**/**twolf** anneal: their behaviour drifts slowly as the
+  acceptance rate cools, giving the AVF dynamics of Figure 1.
+
+Working-set footprints are chosen to straddle the Table 2 cache ranges
+(DL1 8–64 KB, L2 256 KB–4 MB) so capacity changes move the dynamics —
+the effect the predictive models must learn.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.phases import (
+    NoiseModel,
+    PhaseProfile,
+    WorkloadModel,
+    block_schedule,
+    overlay_bursts,
+    overlay_drift,
+    overlay_periodic,
+)
+
+#: Benchmark names in the paper's order.
+BENCHMARK_NAMES = (
+    "bzip2", "crafty", "eon", "gap", "gcc", "mcf",
+    "parser", "perlbmk", "swim", "twolf", "vortex", "vpr",
+)
+
+
+def _bzip2() -> WorkloadModel:
+    """Integer compression: block-sorting phases alternating with
+    entropy coding; medium working sets that fit in larger L2s."""
+    phases = (
+        PhaseProfile("sort", f_load=0.28, f_store=0.12, f_branch=0.13,
+                     f_fp=0.0, ilp_limit=3.6, ilp_halfwindow=30,
+                     branch_mispredict=0.055,
+                     data_footprints=((4.5, 0.10), (9.5, 0.08)),
+                     dl1_compulsory=0.004, mlp=2.2, ace_fraction=0.58,
+                     load_use_weight=0.40),
+        PhaseProfile("entropy", f_load=0.22, f_store=0.08, f_branch=0.18,
+                     f_fp=0.0, ilp_limit=4.4, ilp_halfwindow=22,
+                     branch_mispredict=0.075,
+                     data_footprints=((3.5, 0.08), (7.0, 0.05)),
+                     dl1_compulsory=0.003, mlp=1.6, ace_fraction=0.52,
+                     load_use_weight=0.30),
+        PhaseProfile("move", f_load=0.34, f_store=0.20, f_branch=0.07,
+                     f_fp=0.0, ilp_limit=5.2, ilp_halfwindow=16,
+                     branch_mispredict=0.02,
+                     data_footprints=((5.5, 0.06), (10.0, 0.10)),
+                     dl1_compulsory=0.002, l2_stream_fraction=0.02,
+                     mlp=3.0, ace_fraction=0.48, load_use_weight=0.25),
+    )
+    sched = block_schedule([(0, 0.4), (1, 0.35), (0, 0.25)])
+    sched = overlay_periodic(sched, 2, period=512, duty=0.25, offset=0)
+    return WorkloadModel("bzip2", phases, sched,
+                         NoiseModel(cpi=0.09, power=0.088, avf=0.015),
+                         "block-sorting compressor, periodic sort/code/move")
+
+
+def _crafty() -> WorkloadModel:
+    """Chess search: extremely branchy, small working set, spiky power
+    as evaluation bursts alternate with move generation."""
+    phases = (
+        PhaseProfile("search", f_load=0.24, f_store=0.07, f_branch=0.21,
+                     f_fp=0.0, ilp_limit=3.4, ilp_halfwindow=26,
+                     branch_mispredict=0.095,
+                     data_footprints=((4.0, 0.09),),
+                     dl1_compulsory=0.004, mlp=1.3, ace_fraction=0.62,
+                     load_use_weight=0.42),
+        PhaseProfile("evaluate", f_load=0.30, f_store=0.05, f_branch=0.15,
+                     f_fp=0.0, ilp_limit=5.0, ilp_halfwindow=18,
+                     branch_mispredict=0.05,
+                     data_footprints=((5.5, 0.12),),
+                     dl1_compulsory=0.003, mlp=1.8, ace_fraction=0.55,
+                     load_use_weight=0.35),
+        PhaseProfile("hash_probe", f_load=0.36, f_store=0.10, f_branch=0.12,
+                     f_fp=0.0, ilp_limit=2.8, ilp_halfwindow=40,
+                     branch_mispredict=0.06,
+                     data_footprints=((6.5, 0.10), (10.5, 0.07)),
+                     dl1_compulsory=0.005, mlp=1.9, ace_fraction=0.60,
+                     load_use_weight=0.45),
+    )
+    sched = block_schedule([(0, 0.5), (1, 0.3), (0, 0.2)])
+    sched = overlay_periodic(sched, 1, period=512, duty=0.5, offset=0)
+    sched = overlay_bursts(sched, 2, positions=(0.2, 0.62), width=0.05)
+    return WorkloadModel("crafty", phases, sched,
+                         NoiseModel(cpi=0.10, power=0.104, avf=0.015),
+                         "chess search, branchy with hash-probe bursts")
+
+
+def _eon() -> WorkloadModel:
+    """C++ probabilistic ray tracer: small working set, predictable
+    branches, high ILP — steady behaviour with mild per-ray periodicity."""
+    phases = (
+        PhaseProfile("trace_rays", f_load=0.30, f_store=0.09, f_branch=0.13,
+                     f_fp=0.14, ilp_limit=4.2, ilp_halfwindow=28,
+                     branch_mispredict=0.032,
+                     data_footprints=((5.5, 0.10), (9.0, 0.05)),
+                     dl1_compulsory=0.003, mlp=1.6, ace_fraction=0.54,
+                     load_use_weight=0.34),
+        PhaseProfile("shade", f_load=0.22, f_store=0.12, f_branch=0.08,
+                     f_fp=0.36, ilp_limit=6.6, ilp_halfwindow=18,
+                     branch_mispredict=0.008,
+                     data_footprints=((3.5, 0.04),),
+                     dl1_compulsory=0.002, mlp=2.0, ace_fraction=0.44,
+                     load_use_weight=0.22),
+    )
+    sched = block_schedule([(0, 0.55), (1, 0.45)])
+    sched = overlay_periodic(sched, 1, period=512, duty=0.5, offset=0)
+    return WorkloadModel("eon", phases, sched,
+                         NoiseModel(cpi=0.06, power=0.064, avf=0.015),
+                         "ray tracer, steady high-ILP FP work")
+
+
+def _gap() -> WorkloadModel:
+    """Group-theory interpreter: long algebra phases over medium/large
+    working sets punctuated by garbage-collection sweeps — wide CPI
+    swings (the paper's Figure 1 performance example)."""
+    phases = (
+        PhaseProfile("interpret", f_load=0.26, f_store=0.09, f_branch=0.17,
+                     f_fp=0.0, ilp_limit=3.8, ilp_halfwindow=28,
+                     branch_mispredict=0.06,
+                     data_footprints=((4.0, 0.08), (8.5, 0.07)),
+                     dl1_compulsory=0.003, mlp=1.7, ace_fraction=0.56,
+                     load_use_weight=0.36),
+        PhaseProfile("algebra", f_load=0.32, f_store=0.12, f_branch=0.08,
+                     f_fp=0.04, ilp_limit=4.8, ilp_halfwindow=20,
+                     branch_mispredict=0.03,
+                     data_footprints=((5.5, 0.07), (11.0, 0.09)),
+                     dl1_compulsory=0.003, mlp=2.6, ace_fraction=0.52,
+                     load_use_weight=0.30),
+        PhaseProfile("gc_sweep", f_load=0.38, f_store=0.18, f_branch=0.10,
+                     f_fp=0.0, ilp_limit=2.6, ilp_halfwindow=48,
+                     branch_mispredict=0.045,
+                     data_footprints=((6.0, 0.06), (12.0, 0.12)),
+                     dl1_compulsory=0.005, l2_stream_fraction=0.04,
+                     mlp=2.4, ace_fraction=0.64, load_use_weight=0.40),
+    )
+    sched = block_schedule([(0, 0.3), (1, 0.45), (0, 0.25)])
+    sched = overlay_bursts(sched, 2, positions=(0.25, 0.7), width=0.08)
+    return WorkloadModel("gap", phases, sched,
+                         NoiseModel(cpi=0.08, power=0.088, avf=0.015),
+                         "group-theory interpreter with GC bursts")
+
+
+def _gcc() -> WorkloadModel:
+    """Compiler: many short irregular phases (parse, optimize, allocate,
+    emit) over mixed working sets — the most phase-complex benchmark."""
+    phases = (
+        PhaseProfile("parse", f_load=0.27, f_store=0.10, f_branch=0.20,
+                     f_fp=0.0, ilp_limit=3.2, ilp_halfwindow=30,
+                     branch_mispredict=0.08,
+                     data_footprints=((4.5, 0.10), (8.0, 0.06)),
+                     dl1_compulsory=0.005, mlp=1.5, ace_fraction=0.60,
+                     load_use_weight=0.40),
+        PhaseProfile("optimize", f_load=0.31, f_store=0.11, f_branch=0.15,
+                     f_fp=0.0, ilp_limit=3.9, ilp_halfwindow=34,
+                     branch_mispredict=0.06,
+                     data_footprints=((5.5, 0.09), (10.5, 0.08)),
+                     dl1_compulsory=0.004, mlp=2.0, ace_fraction=0.57,
+                     load_use_weight=0.38),
+        PhaseProfile("regalloc", f_load=0.29, f_store=0.13, f_branch=0.13,
+                     f_fp=0.0, ilp_limit=2.9, ilp_halfwindow=44,
+                     branch_mispredict=0.07,
+                     data_footprints=((6.0, 0.08), (11.0, 0.09)),
+                     dl1_compulsory=0.005, mlp=1.8, ace_fraction=0.63,
+                     load_use_weight=0.42),
+        PhaseProfile("emit", f_load=0.24, f_store=0.16, f_branch=0.12,
+                     f_fp=0.0, ilp_limit=4.6, ilp_halfwindow=18,
+                     branch_mispredict=0.035,
+                     data_footprints=((4.0, 0.06),),
+                     dl1_compulsory=0.003, l2_stream_fraction=0.02,
+                     mlp=2.2, ace_fraction=0.50, load_use_weight=0.28),
+    )
+    sched = block_schedule([(0, 0.2), (1, 0.3), (2, 0.25), (1, 0.1), (3, 0.15)])
+    sched = overlay_periodic(sched, 0, period=512, duty=0.25, offset=0)
+    sched = overlay_bursts(sched, 3, positions=(0.42, 0.86), width=0.04)
+    return WorkloadModel("gcc", phases, sched,
+                         NoiseModel(cpi=0.11, power=0.096, avf=0.015),
+                         "compiler with many irregular phases")
+
+
+def _mcf() -> WorkloadModel:
+    """Network simplex: pointer chasing over multi-megabyte working sets
+    that overflow every Table 2 L2 — deeply memory-bound, spiky, the
+    hardest benchmark for the predictive models (as in the paper)."""
+    phases = (
+        PhaseProfile("pricing", f_load=0.37, f_store=0.08, f_branch=0.11,
+                     f_fp=0.0, ilp_limit=1.9, ilp_halfwindow=70,
+                     branch_mispredict=0.045,
+                     data_footprints=((9.5, 0.08), (13.0, 0.16)),
+                     dl1_compulsory=0.006, mlp=2.8, ace_fraction=0.68,
+                     load_use_weight=0.50),
+        PhaseProfile("simplex", f_load=0.33, f_store=0.11, f_branch=0.13,
+                     f_fp=0.0, ilp_limit=2.3, ilp_halfwindow=55,
+                     branch_mispredict=0.055,
+                     data_footprints=((8.0, 0.07), (12.5, 0.12)),
+                     dl1_compulsory=0.005, mlp=2.2, ace_fraction=0.66,
+                     load_use_weight=0.48),
+        PhaseProfile("refresh", f_load=0.28, f_store=0.14, f_branch=0.10,
+                     f_fp=0.0, ilp_limit=3.4, ilp_halfwindow=30,
+                     branch_mispredict=0.03,
+                     data_footprints=((5.0, 0.07), (11.0, 0.06)),
+                     dl1_compulsory=0.004, mlp=2.0, ace_fraction=0.58,
+                     load_use_weight=0.35),
+    )
+    sched = block_schedule([(0, 0.45), (1, 0.35), (0, 0.2)])
+    sched = overlay_periodic(sched, 1, period=512, duty=0.5, offset=0)
+    sched = overlay_bursts(sched, 2, positions=(0.34, 0.8), width=0.05)
+    return WorkloadModel("mcf", phases, sched,
+                         NoiseModel(cpi=0.33, power=0.136, avf=0.015),
+                         "memory-bound network simplex, spiky dynamics")
+
+
+def _parser() -> WorkloadModel:
+    """Natural-language parser: dictionary lookups and backtracking,
+    quasi-periodic sentence-by-sentence structure."""
+    phases = (
+        PhaseProfile("tokenize", f_load=0.26, f_store=0.09, f_branch=0.18,
+                     f_fp=0.0, ilp_limit=3.6, ilp_halfwindow=24,
+                     branch_mispredict=0.065,
+                     data_footprints=((4.0, 0.08),),
+                     dl1_compulsory=0.004, mlp=1.4, ace_fraction=0.55,
+                     load_use_weight=0.36),
+        PhaseProfile("link", f_load=0.31, f_store=0.08, f_branch=0.16,
+                     f_fp=0.0, ilp_limit=2.9, ilp_halfwindow=38,
+                     branch_mispredict=0.08,
+                     data_footprints=((5.5, 0.10), (10.0, 0.06)),
+                     dl1_compulsory=0.005, mlp=1.6, ace_fraction=0.61,
+                     load_use_weight=0.44),
+        PhaseProfile("dict_walk", f_load=0.35, f_store=0.07, f_branch=0.13,
+                     f_fp=0.0, ilp_limit=2.5, ilp_halfwindow=46,
+                     branch_mispredict=0.05,
+                     data_footprints=((6.0, 0.09), (11.0, 0.07)),
+                     dl1_compulsory=0.005, mlp=1.8, ace_fraction=0.63,
+                     load_use_weight=0.46),
+    )
+    sched = block_schedule([(0, 0.25), (1, 0.5), (2, 0.25)])
+    sched = overlay_periodic(sched, 0, period=512, duty=0.25, offset=0)
+    return WorkloadModel("parser", phases, sched,
+                         NoiseModel(cpi=0.09, power=0.088, avf=0.015),
+                         "NL parser, sentence-periodic with dictionary walks")
+
+
+def _perlbmk() -> WorkloadModel:
+    """Perl interpreter: opcode dispatch with regex bursts and hash
+    working sets; branchy with moderate phase variety."""
+    phases = (
+        PhaseProfile("dispatch", f_load=0.28, f_store=0.10, f_branch=0.19,
+                     f_fp=0.0, ilp_limit=3.3, ilp_halfwindow=28,
+                     branch_mispredict=0.07,
+                     data_footprints=((4.5, 0.09), (9.0, 0.07)),
+                     dl1_compulsory=0.004, mlp=1.5, ace_fraction=0.58,
+                     load_use_weight=0.38),
+        PhaseProfile("regex", f_load=0.24, f_store=0.06, f_branch=0.22,
+                     f_fp=0.0, ilp_limit=4.1, ilp_halfwindow=20,
+                     branch_mispredict=0.055,
+                     data_footprints=((3.5, 0.07),),
+                     dl1_compulsory=0.003, mlp=1.3, ace_fraction=0.54,
+                     load_use_weight=0.32),
+        PhaseProfile("hash_ops", f_load=0.33, f_store=0.14, f_branch=0.12,
+                     f_fp=0.0, ilp_limit=3.0, ilp_halfwindow=36,
+                     branch_mispredict=0.04,
+                     data_footprints=((5.5, 0.08), (10.5, 0.07)),
+                     dl1_compulsory=0.004, mlp=1.9, ace_fraction=0.60,
+                     load_use_weight=0.40),
+    )
+    sched = block_schedule([(0, 0.45), (2, 0.3), (0, 0.25)])
+    sched = overlay_periodic(sched, 1, period=512, duty=0.25, offset=0)
+    sched = overlay_bursts(sched, 2, positions=(0.5, 0.77), width=0.06)
+    return WorkloadModel("perlbmk", phases, sched,
+                         NoiseModel(cpi=0.09, power=0.088, avf=0.015),
+                         "perl interpreter with regex bursts")
+
+
+def _swim() -> WorkloadModel:
+    """Shallow-water FP stencil: long vectorizable loops streaming large
+    arrays — smooth, strongly periodic, the easiest benchmark to
+    predict (as in the paper's Figure 8)."""
+    phases = (
+        PhaseProfile("stencil_u", f_load=0.34, f_store=0.14, f_branch=0.02,
+                     f_fp=0.38, ilp_limit=6.8, ilp_halfwindow=14,
+                     branch_mispredict=0.008,
+                     data_footprints=((5.0, 0.04), (12.5, 0.03)),
+                     dl1_compulsory=0.002, l2_stream_fraction=0.025,
+                     mlp=3.6, ace_fraction=0.44, load_use_weight=0.20),
+        PhaseProfile("stencil_v", f_load=0.36, f_store=0.16, f_branch=0.02,
+                     f_fp=0.34, ilp_limit=6.2, ilp_halfwindow=16,
+                     branch_mispredict=0.008,
+                     data_footprints=((5.5, 0.05), (12.5, 0.04)),
+                     dl1_compulsory=0.002, l2_stream_fraction=0.035,
+                     mlp=3.4, ace_fraction=0.46, load_use_weight=0.22),
+        PhaseProfile("boundary", f_load=0.26, f_store=0.12, f_branch=0.08,
+                     f_fp=0.22, ilp_limit=4.4, ilp_halfwindow=22,
+                     branch_mispredict=0.02,
+                     data_footprints=((4.0, 0.04),),
+                     dl1_compulsory=0.002, mlp=2.0, ace_fraction=0.48,
+                     load_use_weight=0.26),
+    )
+    sched = block_schedule([(0, 0.5), (1, 0.5)])
+    sched = overlay_periodic(sched, 1, period=512, duty=0.5, offset=0)
+    sched = overlay_periodic(sched, 2, period=512, duty=0.08, offset=128)
+    return WorkloadModel("swim", phases, sched,
+                         NoiseModel(cpi=0.05, power=0.056, avf=0.015),
+                         "FP stencil, smooth periodic streaming loops")
+
+
+def _twolf() -> WorkloadModel:
+    """Standard-cell place & route: annealing with random small-object
+    accesses; behaviour drifts as the temperature cools."""
+    phases = (
+        PhaseProfile("move_eval", f_load=0.29, f_store=0.10, f_branch=0.15,
+                     f_fp=0.02, ilp_limit=3.1, ilp_halfwindow=32,
+                     branch_mispredict=0.075,
+                     data_footprints=((5.0, 0.10), (9.5, 0.06)),
+                     dl1_compulsory=0.005, mlp=1.5, ace_fraction=0.59,
+                     load_use_weight=0.40),
+        PhaseProfile("accept", f_load=0.26, f_store=0.14, f_branch=0.13,
+                     f_fp=0.02, ilp_limit=3.7, ilp_halfwindow=26,
+                     branch_mispredict=0.06,
+                     data_footprints=((5.5, 0.09), (10.0, 0.06)),
+                     dl1_compulsory=0.004, mlp=1.7, ace_fraction=0.56,
+                     load_use_weight=0.36),
+        PhaseProfile("reject_fast", f_load=0.22, f_store=0.06, f_branch=0.18,
+                     f_fp=0.01, ilp_limit=4.3, ilp_halfwindow=20,
+                     branch_mispredict=0.05,
+                     data_footprints=((4.5, 0.07),),
+                     dl1_compulsory=0.003, mlp=1.3, ace_fraction=0.50,
+                     load_use_weight=0.30),
+    )
+    sched = block_schedule([(0, 0.6), (1, 0.4)])
+    sched = overlay_periodic(sched, 1, period=512, duty=0.5, offset=0)
+    sched = overlay_drift(sched, 1, 2)
+    return WorkloadModel("twolf", phases, sched,
+                         NoiseModel(cpi=0.10, power=0.096, avf=0.015),
+                         "annealing placer, drifting accept/reject mix")
+
+
+def _vortex() -> WorkloadModel:
+    """Object-oriented database: transaction blocks over medium-large
+    working sets, fairly steady with commit bursts."""
+    phases = (
+        PhaseProfile("lookup", f_load=0.32, f_store=0.09, f_branch=0.16,
+                     f_fp=0.0, ilp_limit=3.5, ilp_halfwindow=30,
+                     branch_mispredict=0.045,
+                     data_footprints=((5.5, 0.09), (11.0, 0.07)),
+                     dl1_compulsory=0.004, mlp=1.9, ace_fraction=0.58,
+                     load_use_weight=0.38),
+        PhaseProfile("insert", f_load=0.28, f_store=0.16, f_branch=0.13,
+                     f_fp=0.0, ilp_limit=3.9, ilp_halfwindow=26,
+                     branch_mispredict=0.04,
+                     data_footprints=((6.0, 0.08), (10.5, 0.06)),
+                     dl1_compulsory=0.004, mlp=2.1, ace_fraction=0.55,
+                     load_use_weight=0.34),
+        PhaseProfile("commit", f_load=0.25, f_store=0.20, f_branch=0.10,
+                     f_fp=0.0, ilp_limit=4.4, ilp_halfwindow=20,
+                     branch_mispredict=0.03,
+                     data_footprints=((5.0, 0.06), (12.0, 0.05)),
+                     dl1_compulsory=0.003, l2_stream_fraction=0.03,
+                     mlp=2.5, ace_fraction=0.52, load_use_weight=0.28),
+    )
+    sched = block_schedule([(0, 0.5), (1, 0.35), (0, 0.15)])
+    sched = overlay_bursts(sched, 2, positions=(0.3, 0.72), width=0.08)
+    return WorkloadModel("vortex", phases, sched,
+                         NoiseModel(cpi=0.08, power=0.08, avf=0.015),
+                         "OO database, transaction blocks with commit bursts")
+
+
+def _vpr() -> WorkloadModel:
+    """FPGA place & route (annealing): slowly drifting acceptance rate
+    plus route ripups — the paper's Figure 1 reliability (AVF) example."""
+    phases = (
+        PhaseProfile("try_swap", f_load=0.28, f_store=0.09, f_branch=0.14,
+                     f_fp=0.06, ilp_limit=3.3, ilp_halfwindow=30,
+                     branch_mispredict=0.065,
+                     data_footprints=((5.0, 0.09), (9.0, 0.08)),
+                     dl1_compulsory=0.004, mlp=1.6, ace_fraction=0.62,
+                     load_use_weight=0.38),
+        PhaseProfile("timing", f_load=0.30, f_store=0.08, f_branch=0.11,
+                     f_fp=0.12, ilp_limit=4.0, ilp_halfwindow=26,
+                     branch_mispredict=0.04,
+                     data_footprints=((5.5, 0.08), (10.5, 0.07)),
+                     dl1_compulsory=0.004, mlp=1.9, ace_fraction=0.57,
+                     load_use_weight=0.34),
+        PhaseProfile("ripup", f_load=0.34, f_store=0.13, f_branch=0.12,
+                     f_fp=0.04, ilp_limit=2.7, ilp_halfwindow=42,
+                     branch_mispredict=0.055,
+                     data_footprints=((6.0, 0.08), (11.0, 0.08)),
+                     dl1_compulsory=0.005, mlp=2.2, ace_fraction=0.66,
+                     load_use_weight=0.42),
+    )
+    sched = block_schedule([(0, 0.55), (1, 0.45)])
+    sched = overlay_drift(sched, 0, 1)
+    sched = overlay_bursts(sched, 2, positions=(0.35, 0.78), width=0.07)
+    return WorkloadModel("vpr", phases, sched,
+                         NoiseModel(cpi=0.09, power=0.08, avf=0.015),
+                         "annealing placer/router, drifting AVF dynamics")
+
+
+_FACTORIES: Dict[str, Callable[[], WorkloadModel]] = {
+    "bzip2": _bzip2,
+    "crafty": _crafty,
+    "eon": _eon,
+    "gap": _gap,
+    "gcc": _gcc,
+    "mcf": _mcf,
+    "parser": _parser,
+    "perlbmk": _perlbmk,
+    "swim": _swim,
+    "twolf": _twolf,
+    "vortex": _vortex,
+    "vpr": _vpr,
+}
+
+#: Aliases matching the paper's figure labels.
+_ALIASES = {"bzip": "bzip2", "perl": "perlbmk", "vortext": "vortex"}
+
+_CACHE: Dict[str, WorkloadModel] = {}
+
+
+def get_benchmark(name: str) -> WorkloadModel:
+    """Look up a benchmark model by name (``"bzip"``/``"perl"`` aliases ok)."""
+    canonical = _ALIASES.get(name, name)
+    if canonical not in _FACTORIES:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; choose from {sorted(_FACTORIES)}"
+        )
+    if canonical not in _CACHE:
+        _CACHE[canonical] = _FACTORIES[canonical]()
+    return _CACHE[canonical]
+
+
+def list_benchmarks() -> List[WorkloadModel]:
+    """All twelve benchmark models, in the paper's order."""
+    return [get_benchmark(name) for name in BENCHMARK_NAMES]

@@ -1,0 +1,159 @@
+"""Tests for the analysis package (stats, clustering, rendering)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cluster import (
+    Merge,
+    agglomerative_cluster,
+    dendrogram_text,
+    leaf_order,
+)
+from repro.analysis.render import (
+    render_boxplot_rows,
+    render_heatmap,
+    render_star,
+    render_table,
+    render_trace_pair,
+    sparkline,
+)
+from repro.analysis.stats import benchmark_table, domain_summary, sweep_table
+from repro.core.metrics import boxplot_stats
+from repro.errors import ReproError
+
+
+class TestClustering:
+    def test_merge_count(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(6, 4))
+        merges = agglomerative_cluster(X)
+        assert len(merges) == 5
+
+    def test_nearest_pair_merges_first(self):
+        X = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [9.0, 9.0]])
+        merges = agglomerative_cluster(X)
+        assert {merges[0].left, merges[0].right} == {0, 1}
+
+    def test_heights_nondecreasing_average_linkage(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(size=(8, 3))
+        merges = agglomerative_cluster(X, "average")
+        heights = [m.height for m in merges]
+        assert all(a <= b + 1e-9 for a, b in zip(heights, heights[1:]))
+
+    @pytest.mark.parametrize("linkage", ["average", "single", "complete"])
+    def test_all_linkages_run(self, linkage):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(size=(7, 2))
+        merges = agglomerative_cluster(X, linkage)
+        assert len(merges) == 6
+
+    def test_leaf_order_is_permutation(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(size=(9, 4))
+        merges = agglomerative_cluster(X)
+        order = leaf_order(merges, 9)
+        assert sorted(order) == list(range(9))
+
+    def test_similar_leaves_adjacent(self):
+        X = np.array([[0.0], [10.0], [0.1], [10.1]])
+        merges = agglomerative_cluster(X)
+        order = leaf_order(merges, 4)
+        pos = {leaf: i for i, leaf in enumerate(order)}
+        assert abs(pos[0] - pos[2]) == 1
+        assert abs(pos[1] - pos[3]) == 1
+
+    def test_single_object_rejected(self):
+        with pytest.raises(ReproError):
+            agglomerative_cluster(np.ones((1, 2)))
+
+    def test_bad_linkage_rejected(self):
+        with pytest.raises(ReproError):
+            agglomerative_cluster(np.ones((3, 2)), "ward")
+
+    def test_dendrogram_text(self):
+        X = np.array([[0.0], [1.0], [5.0]])
+        merges = agglomerative_cluster(X)
+        text = dendrogram_text(merges, ["a", "b", "c"])
+        assert "a" in text and "b" in text
+
+
+class TestStats:
+    def test_domain_summary(self):
+        errors = {"gcc": [1.0, 2.0, 3.0], "mcf": [5.0, 6.0, 7.0]}
+        summary = domain_summary("cpi", errors)
+        assert summary.benchmark_median("gcc") == 2.0
+        assert summary.best_benchmark == "gcc"
+        assert summary.worst_benchmark == "mcf"
+        assert summary.overall_median == pytest.approx(4.0)
+        assert summary.overall_max == 7.0
+
+    def test_unknown_benchmark_rejected(self):
+        summary = domain_summary("cpi", {"gcc": [1.0, 2.0]})
+        with pytest.raises(ReproError):
+            summary.benchmark_median("vpr")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            domain_summary("cpi", {})
+
+    def test_benchmark_table_sorted(self):
+        errors = {"vpr": [3.0], "gcc": [1.0]}
+        rows = benchmark_table(domain_summary("cpi", errors))
+        assert [r[0] for r in rows] == ["gcc", "vpr"]
+
+    def test_sweep_table(self):
+        rows = sweep_table([16, 32], {"cpi": [2.0, 1.5], "avf": [1.0, 0.8]})
+        assert rows[0] == (16, 1.0, 2.0)   # domains sorted (avf, cpi)
+
+    def test_sweep_table_length_mismatch(self):
+        with pytest.raises(ReproError):
+            sweep_table([16, 32], {"cpi": [2.0]})
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        out = render_table(("name", "value"), [["a", 1.5], ["bb", 2.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_render_table_row_width_checked(self):
+        with pytest.raises(ReproError):
+            render_table(("a", "b"), [["only-one"]])
+
+    def test_sparkline_length(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_sparkline_constant(self):
+        line = sparkline([5, 5, 5])
+        assert len(set(line)) == 1
+
+    def test_trace_pair_shares_scale(self):
+        out = render_trace_pair([0, 1, 2], [2, 1, 0], "x")
+        lines = out.splitlines()
+        assert lines[0].count("|") == 2
+
+    def test_boxplot_rows(self):
+        stats = {"gcc": boxplot_stats([1.0, 2.0, 3.0, 4.0]),
+                 "mcf": boxplot_stats([5.0, 6.0, 7.0, 20.0])}
+        out = render_boxplot_rows(stats)
+        assert "gcc" in out and "mcf" in out and "med" in out
+
+    def test_heatmap_shape_checked(self):
+        with pytest.raises(ReproError):
+            render_heatmap(np.ones((2, 2)), ["a"], ["x", "y"])
+
+    def test_heatmap_renders(self):
+        out = render_heatmap(np.array([[0.0, 1.0], [0.5, 0.2]]),
+                             ["r1", "r2"], ["c1", "c2"])
+        assert "r1" in out
+
+    def test_star_plot(self):
+        out = render_star({"fetch": 1.0, "rob": 0.25})
+        assert "fetch" in out
+        assert out.splitlines()[0].count("*") > out.splitlines()[1].count("*")
+
+    def test_empty_star_rejected(self):
+        with pytest.raises(ReproError):
+            render_star({})

@@ -1,0 +1,116 @@
+"""Unit tests for the AVF (ACE analysis) model."""
+
+import numpy as np
+import pytest
+
+from repro.reliability.avf import (
+    REGFILE_ENTRIES,
+    STRUCTURE_BITS,
+    AVFModel,
+    structure_capacity_bits,
+)
+from repro.uarch.params import baseline_config
+
+
+def _traces(n=8, stall=0.3, ace=0.6, waiting=0.4):
+    ones = np.ones(n)
+    return dict(
+        ipc=2.0 * ones,
+        mem_stall_frac=stall * ones,
+        ace_fraction=ace * ones,
+        f_mem=0.35 * ones,
+        window=96.0 * ones,
+        waiting_frac=waiting * ones,
+    )
+
+
+class TestCapacity:
+    def test_capacity_tracks_config(self):
+        small = structure_capacity_bits(baseline_config(iq_size=32))
+        large = structure_capacity_bits(baseline_config(iq_size=128))
+        assert large["iq"] == 4 * small["iq"]
+        assert large["rob"] == small["rob"]
+
+    def test_regfile_fixed(self):
+        bits = structure_capacity_bits(baseline_config())
+        assert bits["regfile"] == STRUCTURE_BITS["regfile"] * REGFILE_ENTRIES
+
+
+class TestOccupancyModel:
+    def test_occupancies_bounded(self):
+        model = AVFModel(baseline_config())
+        occ = model.occupancy_traces(**_traces())
+        for arr in occ.values():
+            assert np.all(arr >= 0.0) and np.all(arr <= 1.0)
+
+    def test_stall_raises_every_occupancy(self):
+        model = AVFModel(baseline_config())
+        idle = model.occupancy_traces(**_traces(stall=0.05))
+        stalled = model.occupancy_traces(**_traces(stall=0.8))
+        for s in ("iq", "rob", "lsq", "regfile"):
+            assert np.all(stalled[s] >= idle[s])
+
+    def test_waiting_pressure_fills_iq(self):
+        model = AVFModel(baseline_config())
+        relaxed = model.occupancy_traces(**_traces(waiting=0.0))
+        pressed = model.occupancy_traces(**_traces(waiting=0.9))
+        assert np.all(pressed["iq"] > relaxed["iq"])
+
+    def test_small_lsq_fuller(self):
+        big = AVFModel(baseline_config(lsq_size=64)).occupancy_traces(**_traces())
+        small = AVFModel(baseline_config(lsq_size=16)).occupancy_traces(**_traces())
+        assert np.all(small["lsq"] >= big["lsq"])
+
+
+class TestAVFTraces:
+    def test_all_structures_plus_processor(self):
+        model = AVFModel(baseline_config())
+        avf = model.avf_traces(**_traces())
+        assert set(avf) == {"iq", "rob", "lsq", "regfile", "processor"}
+        for arr in avf.values():
+            assert np.all(arr >= 0.0) and np.all(arr <= 1.0)
+
+    def test_processor_is_bit_weighted_mean(self):
+        model = AVFModel(baseline_config())
+        avf = model.avf_traces(**_traces())
+        bits = structure_capacity_bits(baseline_config())
+        expected = sum(avf[s] * bits[s] for s in bits) / sum(bits.values())
+        assert np.allclose(avf["processor"], expected)
+
+    def test_higher_ace_higher_avf(self):
+        model = AVFModel(baseline_config())
+        lo = model.avf_traces(**_traces(ace=0.4))
+        hi = model.avf_traces(**_traces(ace=0.8))
+        assert np.all(hi["processor"] > lo["processor"])
+
+    def test_ace_enrichment_superlinear(self):
+        model = AVFModel(baseline_config())
+        lo = model.avf_traces(**_traces(ace=0.4))["iq"]
+        hi = model.avf_traces(**_traces(ace=0.8))["iq"]
+        # Doubling ACE more than doubles queue AVF (residency enrichment).
+        assert np.all(hi > 2.0 * lo)
+
+
+class TestCounterBackend:
+    def test_exact_division(self):
+        cfg = baseline_config()
+        model = AVFModel(cfg)
+        bits = structure_capacity_bits(cfg)
+        cycles = 500.0
+        ace_cycles = {s: 0.25 * bits[s] * cycles for s in bits}
+        avf = model.avf_from_counters(ace_cycles, cycles)
+        for s in bits:
+            assert avf[s] == pytest.approx(0.25)
+        assert avf["processor"] == pytest.approx(0.25)
+
+    def test_zero_cycles(self):
+        model = AVFModel(baseline_config())
+        avf = model.avf_from_counters({}, 0)
+        assert all(v == 0.0 for v in avf.values())
+
+    def test_clipped_to_unit(self):
+        cfg = baseline_config()
+        model = AVFModel(cfg)
+        bits = structure_capacity_bits(cfg)
+        avf = model.avf_from_counters({"iq": 10 * bits["iq"]}, 1.0)
+        assert avf["iq"] == 1.0

@@ -1,0 +1,123 @@
+"""Unit tests for repro.core.baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    GlobalAggregateModel,
+    LinearCoefficientModel,
+    PerSampleModel,
+)
+from repro.core.predictor import WaveletNeuralPredictor
+from repro.errors import ModelError, NotFittedError
+
+
+def _nonlinear_dynamics(n_cfg=100, n_samples=32, seed=0):
+    """Dynamics with a strongly non-linear config dependence."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n_cfg, 3))
+    t = np.linspace(0, 1, n_samples)
+    traces = []
+    for x in X:
+        # Thresholded (non-linear) response mimicking a working set
+        # falling out of a cache.
+        miss = 1.0 / (1.0 + np.exp((x[0] - 0.5) * 12))
+        traces.append(0.8 + 2.0 * miss + 0.4 * x[1] * np.sin(2 * np.pi * 3 * t))
+    return X, np.vstack(traces)
+
+
+class TestLinearCoefficientModel:
+    def test_shapes(self):
+        X, traces = _nonlinear_dynamics()
+        model = LinearCoefficientModel(n_coefficients=8).fit(X, traces)
+        assert model.predict(X[:4]).shape == (4, 32)
+
+    def test_recovers_linear_response_exactly(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(size=(50, 2))
+        t = np.linspace(0, 1, 16)
+        traces = np.vstack([1.0 + 2 * x[0] + x[1] * np.ones_like(t) for x in X])
+        model = LinearCoefficientModel(n_coefficients=4).fit(X, traces)
+        errs = model.score(X, traces)
+        assert np.median(errs) < 1e-6
+
+    def test_worse_than_wavelet_nn_on_nonlinear_response(self):
+        X, traces = _nonlinear_dynamics(seed=2)
+        train, test = slice(0, 75), slice(75, 100)
+        lin = LinearCoefficientModel(n_coefficients=16).fit(X[train], traces[train])
+        wnn = WaveletNeuralPredictor(n_coefficients=16).fit(X[train], traces[train])
+        assert (np.median(wnn.score(X[test], traces[test]))
+                < np.median(lin.score(X[test], traces[test])))
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            LinearCoefficientModel().predict([[0.0]])
+
+    def test_bad_k(self):
+        with pytest.raises(ModelError):
+            LinearCoefficientModel(n_coefficients=0)
+
+
+class TestGlobalAggregateModel:
+    def test_prediction_is_flat(self):
+        X, traces = _nonlinear_dynamics(n_cfg=60)
+        model = GlobalAggregateModel().fit(X, traces)
+        pred = model.predict(X[:3])
+        assert np.allclose(pred, pred[:, :1])
+
+    def test_aggregate_is_accurate(self):
+        X, traces = _nonlinear_dynamics(n_cfg=120, seed=3)
+        model = GlobalAggregateModel().fit(X[:90], traces[:90])
+        agg_pred = model.predict_aggregate(X[90:])
+        agg_true = traces[90:].mean(axis=1)
+        assert np.abs(agg_pred - agg_true).mean() < 0.25
+
+    def test_dynamics_error_much_worse_than_wavelet_model(self):
+        X, traces = _nonlinear_dynamics(n_cfg=120, seed=4)
+        train, test = slice(0, 90), slice(90, 120)
+        flat = GlobalAggregateModel().fit(X[train], traces[train])
+        wnn = WaveletNeuralPredictor(n_coefficients=16).fit(X[train], traces[train])
+        med_flat = np.median(flat.score(X[test], traces[test]))
+        med_wnn = np.median(wnn.score(X[test], traces[test]))
+        # The flat model cannot explain any within-trace variance:
+        # its variance-normalized MSE% should be near 100%.
+        assert med_flat > 60.0
+        assert med_wnn < med_flat / 2
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            GlobalAggregateModel().predict([[0.0]])
+        with pytest.raises(NotFittedError):
+            GlobalAggregateModel().predict_aggregate([[0.0]])
+
+
+class TestPerSampleModel:
+    def test_one_network_per_sample(self):
+        X, traces = _nonlinear_dynamics(n_cfg=50, n_samples=16)
+        model = PerSampleModel().fit(X, traces)
+        assert model.n_networks == 16
+
+    def test_shapes(self):
+        X, traces = _nonlinear_dynamics(n_cfg=50, n_samples=16)
+        model = PerSampleModel().fit(X, traces)
+        assert model.predict(X[:5]).shape == (5, 16)
+
+    def test_reasonable_accuracy(self):
+        from repro.core.metrics import mae
+
+        X, traces = _nonlinear_dynamics(n_cfg=80, n_samples=16, seed=5)
+        model = PerSampleModel().fit(X[:60], traces[:60])
+        errs = model.score(X[60:], traces[60:], metric=mae)
+        # Absolute accuracy is decent even though the variance-normalized
+        # error blows up on near-flat traces (the baseline's weakness).
+        assert np.median(errs) < 0.3
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            PerSampleModel().predict([[0.0]])
+        with pytest.raises(NotFittedError):
+            PerSampleModel().n_networks
+
+    def test_row_mismatch(self):
+        with pytest.raises(ModelError):
+            PerSampleModel().fit(np.ones((3, 2)), np.ones((4, 8)))

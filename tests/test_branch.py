@@ -1,0 +1,122 @@
+"""Unit tests for the branch prediction hardware."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.uarch.branch import (
+    BranchTargetBuffer,
+    FrontEnd,
+    GsharePredictor,
+    ReturnAddressStack,
+)
+from repro.uarch.params import baseline_config
+
+
+class TestGshare:
+    def test_learns_always_taken_branch(self):
+        pred = GsharePredictor()
+        for _ in range(50):
+            pred.update(0x4000, True)
+        assert pred.predict(0x4000)
+        # Steady state: near-zero mispredicts on a monomorphic branch.
+        before = pred.mispredicts
+        for _ in range(100):
+            pred.update(0x4000, True)
+        assert pred.mispredicts == before
+
+    def test_learns_biased_branch_well(self):
+        rng = np.random.default_rng(0)
+        pred = GsharePredictor()
+        outcomes = rng.uniform(size=2000) < 0.95
+        for t in outcomes:
+            pred.update(0x1234, bool(t))
+        assert pred.mispredict_rate < 0.15
+
+    def test_random_branch_mispredicts_half(self):
+        rng = np.random.default_rng(1)
+        pred = GsharePredictor()
+        for t in rng.uniform(size=4000) < 0.5:
+            pred.update(0x5678, bool(t))
+        assert 0.35 < pred.mispredict_rate < 0.65
+
+    def test_learns_alternating_pattern_via_history(self):
+        """T,NT,T,NT is perfectly predictable with global history."""
+        pred = GsharePredictor()
+        for i in range(400):
+            pred.update(0x9000, i % 2 == 0)
+        before = pred.mispredicts
+        for i in range(400, 600):
+            pred.update(0x9000, i % 2 == 0)
+        late_rate = (pred.mispredicts - before) / 200
+        assert late_rate < 0.05
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            GsharePredictor(entries=1000)     # not a power of two
+        with pytest.raises(ConfigurationError):
+            GsharePredictor(history_bits=0)
+
+
+class TestBTB:
+    def test_hit_after_allocation(self):
+        btb = BranchTargetBuffer()
+        assert not btb.access(0x4000)
+        assert btb.access(0x4000)
+
+    def test_lru_within_set(self):
+        btb = BranchTargetBuffer(entries=8, assoc=2)  # 4 sets
+        set_stride = 4 * 4                            # pc >> 2 % 4
+        a, b, c = 0x0, set_stride << 2, (2 * set_stride) << 2
+        btb.access(a)
+        btb.access(b)
+        btb.access(a)
+        btb.access(c)   # evicts b
+        assert btb.access(a)
+        assert not btb.access(b)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            BranchTargetBuffer(entries=10, assoc=4)
+
+
+class TestRAS:
+    def test_matched_call_return(self):
+        ras = ReturnAddressStack(entries=4)
+        ras.push(0x1004)
+        assert ras.pop(0x1004)
+        assert ras.mispops == 0
+
+    def test_underflow_counts_mispop(self):
+        ras = ReturnAddressStack(entries=4)
+        assert not ras.pop(0x2000)
+        assert ras.mispops == 1
+
+    def test_overflow_wraps(self):
+        ras = ReturnAddressStack(entries=2)
+        for pc in (0x10, 0x20, 0x30):
+            ras.push(pc)
+        assert ras.pop(0x30)
+        assert ras.pop(0x20)
+        assert not ras.pop(0x10)   # overwritten by the wrap
+
+    def test_invalid_entries(self):
+        with pytest.raises(ConfigurationError):
+            ReturnAddressStack(entries=0)
+
+
+class TestFrontEnd:
+    def test_bundle_uses_table1_geometry(self):
+        fe = FrontEnd(baseline_config())
+        assert fe.gshare.entries == 2048
+        assert fe.gshare.history_bits == 10
+        assert fe.btb.n_sets * fe.btb.assoc == 2048
+        assert fe.ras.entries == 32
+
+    def test_resolve_branch_trains(self):
+        fe = FrontEnd(baseline_config())
+        # The 10-bit global history walks ~10 distinct counters before
+        # saturating, so train well past the cold phase.
+        for _ in range(400):
+            fe.resolve_branch(0x4000, True)
+        assert fe.gshare.mispredict_rate < 0.05

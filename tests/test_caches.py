@@ -1,0 +1,154 @@
+"""Unit and property tests for the detailed cache models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.uarch.caches import (
+    AccessResult,
+    CacheHierarchy,
+    SetAssociativeCache,
+    TLB,
+)
+from repro.uarch.params import baseline_config
+
+
+class TestSetAssociativeCache:
+    def test_repeat_access_hits(self):
+        cache = SetAssociativeCache(4, 2, 64)
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_same_line_different_bytes_hit(self):
+        cache = SetAssociativeCache(4, 2, 64)
+        cache.access(0x1000)
+        assert cache.access(0x103F)      # same 64B line
+        assert not cache.access(0x1040)  # next line
+
+    def test_lru_eviction_order(self):
+        # 2 ways, 1KB with 64B lines -> 8 sets; three lines in one set.
+        cache = SetAssociativeCache(1, 2, 64)
+        set_stride = 8 * 64
+        a, b, c = 0x0, set_stride, 2 * set_stride
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)        # a is now MRU
+        cache.access(c)        # evicts b (LRU)
+        assert cache.access(a)
+        assert not cache.access(b)
+
+    def test_contains_does_not_mutate(self):
+        cache = SetAssociativeCache(4, 2, 64)
+        cache.access(0x2000)
+        hits, misses = cache.hits, cache.misses
+        assert cache.contains(0x2000)
+        assert not cache.contains(0x9000)
+        assert (cache.hits, cache.misses) == (hits, misses)
+
+    def test_capacity_fits_working_set(self):
+        cache = SetAssociativeCache(8, 4, 64)    # 128 lines
+        lines = [i * 64 for i in range(128)]
+        for addr in lines:
+            cache.access(addr)
+        cache.reset_stats()
+        for addr in lines:
+            cache.access(addr)
+        assert cache.miss_rate == 0.0
+
+    def test_overflow_working_set_misses(self):
+        cache = SetAssociativeCache(8, 4, 64)    # 128 lines
+        lines = [i * 64 for i in range(256)]     # 2x capacity, cyclic
+        for _ in range(3):
+            for addr in lines:
+                cache.access(addr)
+        cache.reset_stats()
+        for addr in lines:
+            cache.access(addr)
+        assert cache.miss_rate == 1.0            # cyclic sweep defeats LRU
+
+    @given(st.integers(0, 2**40 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_inclusion_property(self, addr):
+        """A bigger same-geometry cache never misses where the smaller
+        hit (stack/inclusion property of LRU)."""
+        small = SetAssociativeCache(4, 4, 64)
+        big = SetAssociativeCache(16, 4, 64)
+        rng = np.random.default_rng(addr % 65536)
+        stream = (rng.integers(0, 1 << 16, size=200) * 64).tolist() + [addr]
+        small_hits = [small.access(a) for a in stream]
+        big_hits = [big.access(a) for a in stream]
+        for s_hit, b_hit in zip(small_hits, big_hits):
+            if s_hit:
+                assert b_hit
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(0, 2, 64)
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(1, 64, 64)   # capacity < assoc lines
+
+
+class TestTLB:
+    def test_page_reuse_hits(self):
+        tlb = TLB(entries=4)
+        assert not tlb.access(0x1000)
+        assert tlb.access(0x1FFF)        # same 4K page
+        assert not tlb.access(0x2000)
+
+    def test_lru_eviction(self):
+        tlb = TLB(entries=2)
+        tlb.access(0x0000)
+        tlb.access(0x1000 * 4)
+        tlb.access(0x0000)               # refresh first page
+        tlb.access(0x2000 * 4)           # evicts the second page
+        assert tlb.access(0x0000)
+        assert not tlb.access(0x1000 * 4)
+
+    def test_invalid_entries(self):
+        with pytest.raises(ConfigurationError):
+            TLB(entries=0)
+
+
+class TestHierarchy:
+    def test_dl1_hit_latency(self):
+        h = CacheHierarchy(baseline_config())
+        h.data_access(0x4000)            # warm
+        result = h.data_access(0x4000)
+        assert result.dl1_hit
+        assert result.latency == baseline_config().dl1_latency
+
+    def test_l2_hit_latency(self):
+        cfg = baseline_config()
+        h = CacheHierarchy(cfg)
+        # Fill DL1 beyond capacity so early lines fall to L2 only.
+        lines = [0x100000 + i * 64 for i in range(4096)]
+        for a in lines:
+            h.data_access(a)
+        result = h.data_access(lines[0])
+        if not result.dl1_hit and result.l2_hit and result.tlb_hit:
+            assert result.latency == cfg.dl1_latency + cfg.l2_latency
+
+    def test_memory_latency_on_cold_miss(self):
+        cfg = baseline_config()
+        h = CacheHierarchy(cfg)
+        result = h.data_access(0x77000000)
+        assert result.goes_to_memory
+        expected = cfg.dl1_latency + cfg.l2_latency + cfg.memory_latency
+        if result.tlb_hit:
+            assert result.latency == expected
+        else:
+            assert result.latency == expected + cfg.tlb_miss_latency
+
+    def test_inst_access_bubble_zero_on_hit(self):
+        h = CacheHierarchy(baseline_config())
+        h.inst_access(0x400000)
+        assert h.inst_access(0x400000) == 0
+
+    def test_access_result_flags(self):
+        r = AccessResult(latency=5, dl1_hit=False, l2_hit=False)
+        assert r.goes_to_memory
+        r2 = AccessResult(latency=5, dl1_hit=False, l2_hit=True)
+        assert not r2.goes_to_memory

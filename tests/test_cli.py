@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestListing:
+    def test_list_benchmarks(self):
+        code, text = _run(["list-benchmarks"])
+        assert code == 0
+        for name in ("bzip2", "mcf", "vpr"):
+            assert name in text
+
+    def test_list_experiments(self):
+        code, text = _run(["list-experiments"])
+        assert code == 0
+        assert "fig8" in text
+        assert "Figure 8" in text
+
+
+class TestSimulate:
+    def test_simulate_default(self):
+        code, text = _run(["simulate", "gcc", "--samples", "64"])
+        assert code == 0
+        assert "cpi" in text and "power" in text
+        assert "fetch_width = 8" in text
+
+    def test_simulate_with_overrides(self):
+        code, text = _run([
+            "simulate", "mcf", "--samples", "64",
+            "--fetch-width", "2", "--l2-size-kb", "256",
+        ])
+        assert code == 0
+        assert "fetch_width = 2" in text
+        assert "l2_size_kb = 256" in text
+
+    def test_simulate_with_dvm(self):
+        code, text = _run(["simulate", "gcc", "--samples", "64", "--dvm",
+                           "--dvm-threshold", "0.4"])
+        assert code == 0
+        assert "dvm = enabled" in text
+
+    def test_unknown_benchmark_raises(self):
+        from repro.errors import WorkloadError
+        with pytest.raises(WorkloadError):
+            _run(["simulate", "nonexistent"])
+
+
+class TestOtherCommands:
+    def test_simpoint(self):
+        code, text = _run(["simpoint", "gcc", "--intervals", "32"])
+        assert code == 0
+        assert "representative interval" in text
+
+    def test_run_experiment_table(self):
+        code, text = _run(["run-experiment", "table2", "--scale", "quick"])
+        assert code == 0
+        assert "fetch_width" in text
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,94 @@
+"""Tests for DynamicsDataset and SweepRunner."""
+
+import numpy as np
+import pytest
+
+from repro.dse.dataset import DynamicsDataset
+from repro.dse.runner import SweepPlan, SweepRunner
+from repro.dse.space import paper_design_space
+from repro.errors import ConfigurationError
+from repro.uarch.simulator import Simulator
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    space = paper_design_space()
+    configs = space.sample_random(8, split="train", seed=4)
+    runner = SweepRunner(n_samples=64)
+    return runner.run_configs("gcc", configs, space)
+
+
+class TestSweepRunner:
+    def test_dataset_shapes(self, small_dataset):
+        ds = small_dataset
+        assert ds.n_configs == 8
+        assert ds.n_samples == 64
+        assert set(ds.domains) == {"avf", "cpi", "iq_avf", "power"}
+        assert ds.domain("cpi").shape == (8, 64)
+
+    def test_design_matrix(self, small_dataset):
+        X = small_dataset.design_matrix()
+        assert X.shape == (8, 9)
+        assert np.all((X >= 0) & (X <= 1))
+
+    def test_traces_match_direct_simulation(self, small_dataset):
+        sim = Simulator()
+        direct = sim.run("gcc", small_dataset.configs[0], 64).trace("cpi")
+        assert np.allclose(small_dataset.domain("cpi")[0], direct)
+
+    def test_train_test_plan(self):
+        plan = SweepPlan(space=paper_design_space(), n_train=12, n_test=5,
+                         n_lhs_matrices=2, seed=3)
+        train, test = SweepRunner(n_samples=64).run_train_test("eon", plan)
+        assert train.n_configs == 12
+        assert test.n_configs == 5
+
+    def test_unknown_domain_rejected(self, small_dataset):
+        with pytest.raises(ConfigurationError):
+            small_dataset.domain("energy")
+
+
+class TestDatasetManipulation:
+    def test_subset(self, small_dataset):
+        sub = small_dataset.subset([0, 3, 5])
+        assert sub.n_configs == 3
+        assert np.allclose(sub.domain("cpi")[1],
+                           small_dataset.domain("cpi")[3])
+        assert sub.configs[2].key() == small_dataset.configs[5].key()
+
+    def test_row_count_mismatch_rejected(self):
+        space = paper_design_space()
+        configs = space.sample_random(2, seed=0)
+        with pytest.raises(ConfigurationError):
+            DynamicsDataset("x", space, configs,
+                            {"cpi": np.ones((3, 16))})
+
+    def test_empty_dataset_has_no_samples(self):
+        space = paper_design_space()
+        ds = DynamicsDataset("x", space, [], {})
+        with pytest.raises(ConfigurationError):
+            ds.n_samples
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, small_dataset, tmp_path):
+        path = tmp_path / "gcc.npz"
+        small_dataset.save(path)
+        loaded = DynamicsDataset.load(path)
+        assert loaded.benchmark == "gcc"
+        assert loaded.n_configs == small_dataset.n_configs
+        for dom in small_dataset.domains:
+            assert np.allclose(loaded.domain(dom), small_dataset.domain(dom))
+        for a, b in zip(loaded.configs, small_dataset.configs):
+            assert a.varied_values() == b.varied_values()
+
+    def test_save_load_preserves_dvm_flags(self, tmp_path):
+        space = paper_design_space()
+        configs = [c.with_dvm(i % 2 == 0)
+                   for i, c in enumerate(space.sample_random(4, seed=9))]
+        ds = SweepRunner(n_samples=64).run_configs("eon", configs, space)
+        path = tmp_path / "eon.npz"
+        ds.save(path)
+        loaded = DynamicsDataset.load(path)
+        assert [c.dvm_enabled for c in loaded.configs] == \
+            [c.dvm_enabled for c in configs]

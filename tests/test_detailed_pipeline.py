@@ -1,0 +1,133 @@
+"""Tests for the detailed cycle-level simulator (slower; kept small)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.reliability.dvm import DVMController, DVMPolicy
+from repro.uarch.detailed import DetailedSimulator
+from repro.uarch.params import MachineConfig, baseline_config
+from repro.uarch.pipeline import OutOfOrderCore
+from repro.uarch.simulator import Simulator
+from repro.workloads.generator import synthesize_interval
+from repro.workloads.spec2000 import get_benchmark
+
+#: Small-but-meaningful run sizes for cycle-level tests.
+N_SAMPLES = 8
+INSTS = 400
+
+
+@pytest.fixture(scope="module")
+def gcc_result():
+    sim = DetailedSimulator(baseline_config())
+    return sim.run("gcc", n_samples=N_SAMPLES, instructions_per_sample=INSTS)
+
+
+class TestBasicExecution:
+    def test_all_intervals_complete(self, gcc_result):
+        assert gcc_result.trace("cpi").shape == (N_SAMPLES,)
+        assert np.all(np.isfinite(gcc_result.trace("cpi")))
+
+    def test_cpi_bounded_below_by_width(self, gcc_result):
+        # An 8-wide machine cannot commit faster than width per cycle.
+        assert np.all(gcc_result.trace("cpi") >= 1.0 / 8.0)
+
+    def test_power_positive_and_sane(self, gcc_result):
+        power = gcc_result.trace("power")
+        assert np.all(power > 5.0) and np.all(power < 400.0)
+
+    def test_avf_in_unit_interval(self, gcc_result):
+        for dom in ("avf", "iq_avf"):
+            trace = gcc_result.trace(dom)
+            assert np.all(trace >= 0.0) and np.all(trace <= 1.0)
+
+    def test_mispredict_rate_reasonable(self, gcc_result):
+        mp = gcc_result.components["mispredict_rate"]
+        assert np.all(mp >= 0.0) and np.all(mp < 0.3)
+
+    def test_deterministic(self):
+        a = DetailedSimulator(baseline_config()).run(
+            "eon", n_samples=4, instructions_per_sample=300)
+        b = DetailedSimulator(baseline_config()).run(
+            "eon", n_samples=4, instructions_per_sample=300)
+        assert np.allclose(a.trace("cpi"), b.trace("cpi"))
+
+
+class TestConfigSensitivity:
+    def test_weak_machine_slower(self):
+        weak = MachineConfig(fetch_width=2, rob_size=96, iq_size=32,
+                             lsq_size=16, l2_size_kb=256, l2_latency=20,
+                             il1_size_kb=8, dl1_size_kb=8, dl1_latency=4)
+        strong = MachineConfig(fetch_width=16, rob_size=160, iq_size=128,
+                               lsq_size=64, l2_size_kb=4096, l2_latency=8,
+                               il1_size_kb=64, dl1_size_kb=64, dl1_latency=1)
+        cpi_weak = DetailedSimulator(weak).run(
+            "gcc", n_samples=N_SAMPLES,
+            instructions_per_sample=INSTS).aggregate("cpi")
+        cpi_strong = DetailedSimulator(strong).run(
+            "gcc", n_samples=N_SAMPLES,
+            instructions_per_sample=INSTS).aggregate("cpi")
+        assert cpi_weak > cpi_strong
+
+    def test_narrow_machine_burns_less_power(self):
+        narrow = DetailedSimulator(MachineConfig(fetch_width=2)).run(
+            "eon", n_samples=4, instructions_per_sample=INSTS)
+        wide = DetailedSimulator(MachineConfig(fetch_width=16)).run(
+            "eon", n_samples=4, instructions_per_sample=INSTS)
+        assert narrow.aggregate("power") < wide.aggregate("power")
+
+    def test_memory_bound_code_hit_harder_by_small_l2(self):
+        def slowdown(bench):
+            small = DetailedSimulator(baseline_config(l2_size_kb=256)).run(
+                bench, n_samples=4, instructions_per_sample=INSTS)
+            big = DetailedSimulator(baseline_config(l2_size_kb=4096)).run(
+                bench, n_samples=4, instructions_per_sample=INSTS)
+            return small.aggregate("cpi") / big.aggregate("cpi")
+
+        assert slowdown("mcf") > slowdown("eon") * 0.95
+
+
+class TestDVMIntegration:
+    def test_dvm_throttles_and_reduces_iq_avf(self):
+        cfg = baseline_config().with_dvm(True, 0.05)  # aggressive target
+        managed = DetailedSimulator(cfg).run(
+            "mcf", n_samples=4, instructions_per_sample=INSTS)
+        plain = DetailedSimulator(baseline_config()).run(
+            "mcf", n_samples=4, instructions_per_sample=INSTS)
+        assert managed.components["dvm_throttled_frac"].sum() > 0.0
+        assert (managed.trace("iq_avf").mean()
+                <= plain.trace("iq_avf").mean() + 1e-9)
+
+    def test_dvm_controller_wired_from_config(self):
+        sim = DetailedSimulator(baseline_config().with_dvm(True, 0.4))
+        assert sim.dvm_controller is not None
+        assert sim.dvm_controller.policy.threshold == 0.4
+        assert DetailedSimulator(baseline_config()).dvm_controller is None
+
+
+class TestCoreInternals:
+    def test_interval_stats_cpi_guard(self):
+        core = OutOfOrderCore(baseline_config())
+        trace = synthesize_interval(get_benchmark("eon"), 0, 8, 200)
+        stats = core.run_interval(trace)
+        assert stats.instructions == 200
+        assert stats.cycles > 0
+        assert stats.counters["instructions"] == 200
+
+    def test_counters_consistent(self):
+        core = OutOfOrderCore(baseline_config())
+        trace = synthesize_interval(get_benchmark("gcc"), 0, 8, 300)
+        stats = core.run_interval(trace)
+        # Every instruction is renamed exactly once and committed once.
+        assert stats.counters["rename"] == 300
+        assert stats.counters["issue_queue"] == 300
+
+    def test_facade_backend(self):
+        sim = Simulator(backend="detailed")
+        res = sim.run("eon", baseline_config(), n_samples=4,
+                      instructions_per_sample=200)
+        assert res.backend == "detailed"
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(SimulationError):
+            DetailedSimulator(baseline_config()).run("gcc", n_samples=0)

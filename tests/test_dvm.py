@@ -1,0 +1,122 @@
+"""Unit tests for the DVM policy and controller."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability.dvm import DVMController, DVMPolicy
+from repro.uarch.params import MachineConfig, baseline_config
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"threshold": 0.0},
+        {"threshold": 1.0},
+        {"sample_divisor": 0},
+        {"wq_decrease": 1.5},
+    ])
+    def test_invalid_policy_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DVMPolicy(**kwargs)
+
+    def test_defaults_match_paper(self):
+        p = DVMPolicy()
+        assert p.threshold == 0.3
+        assert p.sample_divisor == 5        # sample_interval/5
+        assert p.wq_decrease == 0.5         # wq_ratio = wq_ratio/2
+
+
+class TestIntervalEffect:
+    def _apply(self, avf, stall, cfg=None, threshold=0.3):
+        policy = DVMPolicy(threshold=threshold)
+        cfg = cfg or baseline_config()
+        cpi = np.full_like(np.asarray(avf, dtype=float), 1.5)
+        return policy.apply_interval_effect(avf, cpi, cfg, stall)
+
+    def test_below_threshold_untouched(self):
+        avf = np.array([0.1, 0.2, 0.25])
+        stall = np.full(3, 0.2)
+        managed, cpi, engaged = self._apply(avf, stall)
+        assert np.allclose(managed, avf)
+        assert np.allclose(cpi, 1.5)
+        assert np.all(engaged == 0.0)
+
+    def test_managed_never_exceeds_raw(self):
+        avf = np.linspace(0.1, 0.9, 16)
+        stall = np.linspace(0.0, 0.9, 16)
+        managed, _, _ = self._apply(avf, stall)
+        assert np.all(managed <= avf + 1e-12)
+
+    def test_effective_regime_clamps_below_threshold(self):
+        avf = np.array([0.45])
+        stall = np.array([0.1])       # low stall: controller effective
+        managed, _, _ = self._apply(avf, stall)
+        assert managed[0] < 0.3
+
+    def test_saturated_regime_fails(self):
+        avf = np.array([0.7])
+        stall = np.array([0.9])       # memory-bound: throttle saturates
+        managed, _, _ = self._apply(avf, stall)
+        assert managed[0] > 0.3
+
+    def test_throttling_costs_cpi(self):
+        avf = np.array([0.6])
+        stall = np.array([0.2])
+        _, cpi, engaged = self._apply(avf, stall)
+        assert engaged[0] == 1.0
+        assert cpi[0] > 1.5
+
+    def test_effectiveness_monotone_in_stall(self):
+        policy = DVMPolicy()
+        cfg = baseline_config()
+        stalls = np.linspace(0.0, 1.0, 11)
+        eta = policy.effectiveness(cfg, stalls)
+        assert np.all(np.diff(eta) <= 1e-12)
+        assert np.all((eta >= 0.05) & (eta <= 0.95))
+
+    def test_wide_fetch_reduces_effectiveness(self):
+        policy = DVMPolicy()
+        narrow = policy.effectiveness(MachineConfig(fetch_width=2), 0.3)
+        wide = policy.effectiveness(MachineConfig(fetch_width=16), 0.3)
+        assert wide < narrow
+
+
+class TestController:
+    def test_wq_halves_on_trigger(self):
+        ctl = DVMController(DVMPolicy(threshold=0.3, wq_initial=4.0))
+        ctl.on_sample(0.5)
+        assert ctl.wq_ratio == pytest.approx(2.0)
+        assert ctl.trigger_count == 1
+
+    def test_wq_grows_slowly_when_safe(self):
+        ctl = DVMController(DVMPolicy(threshold=0.3, wq_initial=2.0))
+        ctl.on_sample(0.1)
+        assert ctl.wq_ratio == pytest.approx(3.0)
+
+    def test_wq_bounded(self):
+        ctl = DVMController(DVMPolicy(wq_max=8.0))
+        for _ in range(50):
+            ctl.on_sample(0.0)
+        assert ctl.wq_ratio == 8.0
+        for _ in range(50):
+            ctl.on_sample(0.9)
+        assert ctl.wq_ratio >= 0.25
+
+    def test_throttle_on_l2_miss(self):
+        ctl = DVMController(DVMPolicy())
+        assert ctl.should_throttle(waiting=0, ready=5,
+                                   l2_miss_outstanding=True)
+
+    def test_throttle_on_wq_ratio_violation(self):
+        ctl = DVMController(DVMPolicy(wq_initial=2.0))
+        assert ctl.should_throttle(waiting=10, ready=2,
+                                   l2_miss_outstanding=False)
+        assert not ctl.should_throttle(waiting=3, ready=2,
+                                       l2_miss_outstanding=False)
+
+    def test_no_ready_instructions(self):
+        ctl = DVMController(DVMPolicy(wq_initial=2.0))
+        assert ctl.should_throttle(waiting=5, ready=0,
+                                   l2_miss_outstanding=False)
+        assert not ctl.should_throttle(waiting=1, ready=0,
+                                       l2_miss_outstanding=False)

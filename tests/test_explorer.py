@@ -1,0 +1,148 @@
+"""Tests for the predictive design-space explorer."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.dse.explorer import (
+    Constraint,
+    ExplorationResult,
+    Objective,
+    PredictiveExplorer,
+)
+from repro.dse.runner import SweepPlan, SweepRunner
+from repro.dse.space import paper_design_space
+from repro.errors import ExperimentError, ModelError
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    space = paper_design_space()
+    plan = SweepPlan(space=space, n_train=120, n_test=10,
+                     n_lhs_matrices=3, seed=21)
+    train, _ = SweepRunner(n_samples=64).run_train_test("gcc", plan)
+    models = {}
+    for domain in ("cpi", "power", "iq_avf"):
+        models[domain] = repro.WaveletNeuralPredictor(
+            n_coefficients=16).fit(train.design_matrix(), train.domain(domain))
+    return PredictiveExplorer(space, models)
+
+
+class TestConstraintObjective:
+    def test_constraint_semantics(self):
+        c = Constraint("power", "max", "<=", 50.0)
+        assert c.satisfied(np.array([10.0, 49.0]))
+        assert not c.satisfied(np.array([10.0, 51.0]))
+        assert c.margin(np.array([10.0, 40.0])) == pytest.approx(10.0)
+
+    def test_constraint_ge(self):
+        c = Constraint("cpi", "min", ">=", 0.5)
+        assert c.satisfied(np.array([0.6, 0.9]))
+        assert not c.satisfied(np.array([0.4, 0.9]))
+
+    def test_objective_score_sign(self):
+        trace = np.array([1.0, 3.0])
+        assert Objective("cpi").score(trace) == pytest.approx(2.0)
+        assert Objective("cpi", maximize=True).score(trace) == pytest.approx(-2.0)
+
+    def test_bad_reducer_rejected(self):
+        with pytest.raises(ModelError):
+            Constraint("cpi", "median", "<=", 1.0)
+        with pytest.raises(ModelError):
+            Objective("cpi", reducer="sum")
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ModelError):
+            Constraint("cpi", "mean", "<", 1.0)
+
+    def test_describe(self):
+        assert "power" in Constraint("power", "max", "<=", 100).describe()
+        assert "minimize" in Objective("cpi").describe()
+
+
+class TestExplorer:
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(ModelError):
+            PredictiveExplorer(paper_design_space(),
+                               {"cpi": repro.WaveletNeuralPredictor()})
+
+    def test_candidate_grid_sampled_when_limited(self, explorer):
+        candidates = explorer.candidate_grid(limit=100, seed=0)
+        assert len(candidates) == 100
+
+    def test_candidate_grid_full_when_small(self, explorer):
+        candidates = explorer.candidate_grid(split="test", limit=None)
+        assert len(candidates) == explorer.space.size("test")
+
+    def test_unknown_domain_rejected(self, explorer):
+        with pytest.raises(ExperimentError):
+            explorer.search(Objective("temperature"), limit=10)
+
+    def test_search_returns_feasible_optimum(self, explorer):
+        result = explorer.search(
+            Objective("cpi", "mean"),
+            constraints=(Constraint("power", "max", "<=", 80.0),),
+            limit=400, seed=1,
+        )
+        assert isinstance(result, ExplorationResult)
+        assert result.n_evaluated == 400
+        assert result.best_config is not None
+        # The winner must itself satisfy the constraint per the model.
+        traces = explorer.predict_traces([result.best_config],
+                                         ["power", "cpi"])
+        assert traces["power"][0].max() <= 80.0 + 1e-6
+
+    def test_unconstrained_search_prefers_strong_machines(self, explorer):
+        result = explorer.search(Objective("cpi", "mean"), limit=400, seed=2)
+        # Minimizing CPI without constraints should pick a wide machine
+        # with a big L2 (per the model's monotone trends).
+        assert result.best_config.fetch_width >= 8
+        assert result.best_config.l2_size_kb >= 1024
+
+    def test_power_constraint_binds(self, explorer):
+        loose = explorer.search(Objective("cpi", "mean"), limit=400, seed=3)
+        tight = explorer.search(
+            Objective("cpi", "mean"),
+            constraints=(Constraint("power", "max", "<=", 40.0),),
+            limit=400, seed=3,
+        )
+        assert tight.n_feasible < loose.n_feasible
+        if tight.best_config is not None:
+            assert tight.best_score >= loose.best_score - 1e-9
+
+    def test_infeasible_constraints_give_empty_result(self, explorer):
+        result = explorer.search(
+            Objective("cpi"),
+            constraints=(Constraint("power", "max", "<=", 0.1),),
+            limit=100, seed=4,
+        )
+        assert result.best_config is None
+        assert result.n_feasible == 0
+        assert result.feasible_fraction == 0.0
+
+    def test_ranked_results_sorted(self, explorer):
+        result = explorer.search(Objective("cpi"), limit=200, top_k=5, seed=5)
+        scores = [s for _, s in result.ranked]
+        assert scores == sorted(scores)
+        assert len(result.ranked) <= 5
+
+
+class TestSensitivity:
+    def test_l2_sweep_monotone(self, explorer):
+        sweep = explorer.sensitivity(repro.baseline_config(), "l2_size_kb",
+                                     "cpi", "mean")
+        levels = [lvl for lvl, _ in sweep]
+        values = [v for _, v in sweep]
+        assert levels == [256, 1024, 2048, 4096]
+        # Bigger L2 should not (predictedly) hurt gcc.
+        assert values[-1] <= values[0] + 0.2
+
+    def test_unknown_parameter_rejected(self, explorer):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            explorer.sensitivity(repro.baseline_config(), "l3_size", "cpi")
+
+    def test_bad_reducer_rejected(self, explorer):
+        with pytest.raises(ModelError):
+            explorer.sensitivity(repro.baseline_config(), "l2_size_kb",
+                                 "cpi", reducer="harmonic")

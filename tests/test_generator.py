@@ -1,0 +1,106 @@
+"""Unit tests for synthetic trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.uarch.trace import InstructionTrace, OpClass
+from repro.workloads.generator import synthesize_interval, synthesize_trace
+from repro.workloads.spec2000 import get_benchmark
+
+
+class TestTraceContainer:
+    def test_slice_view(self):
+        trace = synthesize_interval(get_benchmark("gcc"), 0, 16, 200)
+        sub = trace.slice(50, 100)
+        assert len(sub) == 50
+        assert np.array_equal(sub.op, trace.op[50:100])
+
+    def test_bad_slice_rejected(self):
+        trace = synthesize_interval(get_benchmark("gcc"), 0, 16, 100)
+        with pytest.raises(WorkloadError):
+            trace.slice(50, 20)
+        with pytest.raises(WorkloadError):
+            trace.slice(0, 101)
+
+    def test_mismatched_fields_rejected(self):
+        with pytest.raises(WorkloadError):
+            InstructionTrace(
+                op=np.zeros(4, dtype=np.int8),
+                src1_dist=np.zeros(4, dtype=np.int64),
+                src2_dist=np.zeros(4, dtype=np.int64),
+                address=np.zeros(4, dtype=np.int64),
+                pc=np.zeros(3, dtype=np.int64),      # wrong length
+                taken=np.zeros(4, dtype=bool),
+                ace=np.zeros(4, dtype=bool),
+            )
+
+
+class TestStatisticalFidelity:
+    def test_deterministic(self):
+        wl = get_benchmark("gcc")
+        a = synthesize_interval(wl, 3, 64, 500)
+        b = synthesize_interval(wl, 3, 64, 500)
+        assert np.array_equal(a.op, b.op)
+        assert np.array_equal(a.address, b.address)
+
+    def test_different_intervals_differ(self):
+        wl = get_benchmark("gcc")
+        a = synthesize_interval(wl, 0, 64, 500)
+        b = synthesize_interval(wl, 32, 64, 500)
+        assert not np.array_equal(a.op, b.op)
+
+    @pytest.mark.parametrize("bench", ["gcc", "swim", "mcf"])
+    def test_mix_matches_model(self, bench):
+        wl = get_benchmark(bench)
+        n_samples = 16
+        interval = 4
+        trace = synthesize_interval(wl, interval, n_samples, 4000)
+        observed = trace.mix_fractions()
+        weights = wl.phase_weights(n_samples)[interval]
+        for attr, key in (("f_load", "f_load"), ("f_branch", "f_branch"),
+                          ("f_fp", "f_fp")):
+            expected = float(weights @ wl.phase_vector(attr))
+            assert observed[key] == pytest.approx(expected, abs=0.03)
+
+    def test_memory_ops_have_addresses(self):
+        trace = synthesize_interval(get_benchmark("gcc"), 0, 16, 1000)
+        is_mem = (trace.op == OpClass.LOAD) | (trace.op == OpClass.STORE)
+        assert np.all(trace.address[is_mem] > 0)
+        assert np.all(trace.address[~is_mem] == 0)
+
+    def test_ace_fraction_matches_model(self):
+        wl = get_benchmark("gcc")
+        trace = synthesize_interval(wl, 0, 16, 5000)
+        weights = wl.phase_weights(16)[0]
+        expected = float(weights @ wl.phase_vector("ace_fraction"))
+        assert np.mean(trace.ace) == pytest.approx(expected, abs=0.03)
+
+    def test_dependence_distances_positive(self):
+        trace = synthesize_interval(get_benchmark("eon"), 0, 16, 1000)
+        assert np.all(trace.src1_dist >= 1)
+        assert np.all(trace.src2_dist >= 0)
+
+    def test_swim_branch_fraction_tiny(self):
+        trace = synthesize_interval(get_benchmark("swim"), 4, 16, 4000)
+        assert trace.mix_fractions()["f_branch"] < 0.06
+
+    def test_mcf_touches_larger_footprint_than_crafty(self):
+        mcf = synthesize_interval(get_benchmark("mcf"), 0, 16, 3000)
+        crafty = synthesize_interval(get_benchmark("crafty"), 0, 16, 3000)
+        mcf_lines = np.unique(mcf.address[mcf.address > 0] // 64).size
+        crafty_lines = np.unique(crafty.address[crafty.address > 0] // 64).size
+        assert mcf_lines > crafty_lines
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(WorkloadError):
+            synthesize_interval(get_benchmark("gcc"), 0, 16, 0)
+
+
+class TestFullTrace:
+    def test_concatenation(self):
+        wl = get_benchmark("eon")
+        trace = synthesize_trace(wl, n_samples=4, instructions_per_sample=100)
+        assert len(trace) == 400
+        part = synthesize_interval(wl, 0, 4, 100)
+        assert np.array_equal(trace.op[:100], part.op)

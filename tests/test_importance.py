@@ -1,0 +1,61 @@
+"""Tests for regression-tree parameter importance (Figure 11 data)."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import WaveletNeuralPredictor
+from repro.dse.importance import StarPlotData, importance_star, importance_table
+from repro.errors import ModelError
+
+
+@pytest.fixture(scope="module")
+def fitted_model():
+    """A model where parameter 1 dominates and parameter 2 is noise."""
+    rng = np.random.default_rng(0)
+    X = rng.uniform(size=(120, 3))
+    t = np.linspace(0, 1, 32)
+    traces = np.vstack([
+        (1.0 + 2.5 * x[1]) * (1 + 0.4 * np.sin(2 * np.pi * 2 * t))
+        + 0.3 * x[0]
+        for x in X
+    ])
+    return WaveletNeuralPredictor(n_coefficients=8).fit(X, traces)
+
+
+class TestImportanceStar:
+    def test_scores_normalized(self, fitted_model):
+        star = importance_star(fitted_model, ("a", "b", "c"), "toy", "cpi")
+        assert star.scores.max() == pytest.approx(1.0)
+        assert np.all(star.scores >= 0.0)
+
+    def test_dominant_parameter_found(self, fitted_model):
+        for measure in ("order", "frequency"):
+            star = importance_star(fitted_model, ("a", "b", "c"), "toy",
+                                   "cpi", measure)
+            assert star.top_parameters(1) == ["b"]
+
+    def test_as_dict(self, fitted_model):
+        star = importance_star(fitted_model, ("a", "b", "c"), "toy", "cpi")
+        d = star.as_dict()
+        assert set(d) == {"a", "b", "c"}
+
+    def test_bad_measure_rejected(self, fitted_model):
+        with pytest.raises(ModelError):
+            importance_star(fitted_model, ("a", "b", "c"), "toy", "cpi",
+                            measure="gini")
+
+    def test_name_count_checked(self, fitted_model):
+        with pytest.raises(ModelError):
+            importance_star(fitted_model, ("a", "b"), "toy", "cpi")
+
+    def test_importance_table(self, fitted_model):
+        star = importance_star(fitted_model, ("a", "b", "c"), "toy", "cpi")
+        rows = importance_table([star])
+        assert rows[0][0] == "toy"
+        assert rows[0][2].startswith("b")
+
+    def test_star_plot_data_frozen(self, fitted_model):
+        star = importance_star(fitted_model, ("a", "b", "c"), "toy", "cpi")
+        assert isinstance(star, StarPlotData)
+        with pytest.raises(Exception):
+            star.benchmark = "other"

@@ -1,0 +1,97 @@
+"""End-to-end integration tests across the whole pipeline."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.metrics import pooled_nmse_percent
+from repro.dse.runner import SweepPlan, SweepRunner
+from repro.dse.space import paper_design_space
+
+
+@pytest.fixture(scope="module")
+def gcc_train_test():
+    plan = SweepPlan(space=paper_design_space(), n_train=100, n_test=25,
+                     n_lhs_matrices=3, seed=11)
+    return SweepRunner(n_samples=128).run_train_test("gcc", plan)
+
+
+class TestEndToEnd:
+    def test_full_pipeline_accuracy(self, gcc_train_test):
+        """Sample -> simulate -> decompose -> fit -> predict -> score."""
+        train, test = gcc_train_test
+        model = repro.WaveletNeuralPredictor(n_coefficients=16)
+        model.fit(train.design_matrix(), train.domain("cpi"))
+        errors = pooled_nmse_percent(
+            test.domain("cpi"), model.predict(test.design_matrix()))
+        assert np.median(errors) < 12.0       # paper band (with margin)
+
+    def test_avf_beats_mean_predictor(self, gcc_train_test):
+        train, test = gcc_train_test
+        model = repro.WaveletNeuralPredictor(n_coefficients=16)
+        model.fit(train.design_matrix(), train.domain("avf"))
+        pred = model.predict(test.design_matrix())
+        actual = test.domain("avf")
+        errors = pooled_nmse_percent(actual, pred)
+        # Predicting the train-set grand mean everywhere is the null model.
+        null = np.broadcast_to(train.domain("avf").mean(), actual.shape)
+        null_errors = pooled_nmse_percent(actual, null)
+        assert np.median(errors) < np.median(null_errors) / 2
+
+    def test_public_api_surface(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_snippet(self):
+        """The README/docstring snippet must work verbatim."""
+        sim = repro.Simulator()
+        result = sim.run("gcc", repro.baseline_config(), n_samples=128)
+        assert result.trace("cpi").shape == (128,)
+
+    def test_scenario_classification_end_to_end(self, gcc_train_test):
+        train, test = gcc_train_test
+        model = repro.WaveletNeuralPredictor(n_coefficients=16)
+        model.fit(train.design_matrix(), train.domain("cpi"))
+        pred = model.predict(test.design_matrix())
+        ds_values = []
+        for actual, p in zip(test.domain("cpi"), pred):
+            _, q2, _ = repro.quartile_thresholds(actual)
+            ds_values.append(repro.directional_symmetry(actual, p, q2))
+        assert np.mean(ds_values) > 0.85
+
+
+class TestBackendAgreement:
+    """The DESIGN.md substitution argument, as a test."""
+
+    @pytest.mark.parametrize("bench", ["gcc", "mcf"])
+    def test_directional_agreement_on_cache_size(self, bench):
+        small = repro.baseline_config(l2_size_kb=256)
+        large = repro.baseline_config(l2_size_kb=4096)
+        fast = repro.Simulator(backend="interval", noise=False)
+        slow = repro.Simulator(backend="detailed")
+        fast_delta = (fast.run(bench, small, 32).aggregate("cpi")
+                      - fast.run(bench, large, 32).aggregate("cpi"))
+        slow_delta = (slow.run(bench, small, 8,
+                               instructions_per_sample=400).aggregate("cpi")
+                      - slow.run(bench, large, 8,
+                                 instructions_per_sample=400).aggregate("cpi"))
+        assert fast_delta >= 0.0
+        assert slow_delta >= -0.15   # detailed sim is noisier at small scale
+
+    def test_width_ordering_agreement(self):
+        narrow = repro.baseline_config(fetch_width=2)
+        wide = repro.baseline_config(fetch_width=16)
+        fast = repro.Simulator(backend="interval", noise=False)
+        slow = repro.Simulator(backend="detailed")
+        assert (fast.run("eon", narrow, 32).aggregate("cpi")
+                > fast.run("eon", wide, 32).aggregate("cpi"))
+        assert (slow.run("eon", narrow, 8, 400).aggregate("cpi")
+                > slow.run("eon", wide, 8, 400).aggregate("cpi"))
+
+    def test_power_scale_same_order_of_magnitude(self):
+        cfg = repro.baseline_config()
+        fast = repro.Simulator(backend="interval", noise=False)
+        slow = repro.Simulator(backend="detailed")
+        p_fast = fast.run("gcc", cfg, 32).aggregate("power")
+        p_slow = slow.run("gcc", cfg, 8, 400).aggregate("power")
+        assert 0.2 < p_fast / p_slow < 5.0

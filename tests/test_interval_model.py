@@ -1,0 +1,176 @@
+"""Unit and property tests for the interval simulation backend."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.uarch.interval_model import IntervalSimResult, simulate_interval
+from repro.uarch.params import MachineConfig, baseline_config
+from repro.uarch.simulator import Simulator
+from repro.workloads.spec2000 import BENCHMARK_NAMES, get_benchmark
+
+
+def _run(bench="gcc", noise=False, n_samples=64, **overrides):
+    cfg = baseline_config(**overrides)
+    return simulate_interval(get_benchmark(bench), cfg, n_samples, noise=noise)
+
+
+class TestBasicProperties:
+    def test_result_shapes(self):
+        res = _run(n_samples=128)
+        assert isinstance(res, IntervalSimResult)
+        for trace in (res.cpi, res.power, res.avf, res.iq_avf):
+            assert trace.shape == (128,)
+
+    def test_deterministic_with_noise(self):
+        cfg = baseline_config()
+        wl = get_benchmark("gcc")
+        a = simulate_interval(wl, cfg, 64, noise=True)
+        b = simulate_interval(wl, cfg, 64, noise=True)
+        assert np.allclose(a.cpi, b.cpi)
+        assert np.allclose(a.power, b.power)
+
+    def test_noise_differs_across_configs(self):
+        wl = get_benchmark("gcc")
+        a = simulate_interval(wl, baseline_config(), 64)
+        b = simulate_interval(wl, baseline_config(l2_latency=14), 64)
+        assert not np.allclose(a.cpi, b.cpi)
+
+    @pytest.mark.parametrize("bench", BENCHMARK_NAMES)
+    def test_physical_ranges(self, bench):
+        res = _run(bench, noise=True, n_samples=128)
+        assert np.all(res.cpi > 0.05) and np.all(res.cpi < 50)
+        assert np.all(res.power > 5) and np.all(res.power < 400)
+        assert np.all(res.avf >= 0) and np.all(res.avf <= 1)
+        assert np.all(res.iq_avf >= 0) and np.all(res.iq_avf <= 1)
+
+    def test_ipc_is_reciprocal(self):
+        res = _run()
+        assert np.allclose(res.ipc, 1.0 / res.cpi)
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(SimulationError):
+            _run().trace("temperature")
+
+    def test_components_present(self):
+        res = _run()
+        for key in ("cpi_base", "cpi_branch", "cpi_mem", "mem_stall_frac",
+                    "dl1_miss_rate", "l2_miss_rate"):
+            assert key in res.components
+
+
+class TestMonotonicity:
+    """First-order sanity: better hardware never hurts, worse never helps."""
+
+    @pytest.mark.parametrize("bench", ["gcc", "mcf", "swim"])
+    def test_bigger_dl1_reduces_misses_and_cpi(self, bench):
+        small = _run(bench, dl1_size_kb=8)
+        large = _run(bench, dl1_size_kb=64)
+        assert np.all(large.components["dl1_miss_rate"]
+                      <= small.components["dl1_miss_rate"] + 1e-12)
+        assert large.cpi.mean() <= small.cpi.mean() + 1e-9
+
+    @pytest.mark.parametrize("bench", ["gcc", "mcf"])
+    def test_bigger_l2_reduces_memory_traffic(self, bench):
+        small = _run(bench, l2_size_kb=256)
+        large = _run(bench, l2_size_kb=4096)
+        assert np.all(large.components["l2_miss_rate"]
+                      <= small.components["l2_miss_rate"] + 1e-12)
+
+    def test_higher_l2_latency_increases_cpi(self):
+        fast = _run("gcc", l2_latency=8)
+        slow = _run("gcc", l2_latency=20)
+        assert slow.cpi.mean() > fast.cpi.mean()
+
+    def test_higher_dl1_latency_increases_cpi(self):
+        fast = _run("gcc", dl1_latency=1)
+        slow = _run("gcc", dl1_latency=4)
+        assert slow.cpi.mean() > fast.cpi.mean()
+
+    def test_wider_machine_not_slower(self):
+        narrow = _run("eon", fetch_width=2)
+        wide = _run("eon", fetch_width=16)
+        assert wide.cpi.mean() < narrow.cpi.mean()
+
+    def test_wider_machine_burns_more_power(self):
+        narrow = _run("eon", fetch_width=2)
+        wide = _run("eon", fetch_width=16)
+        assert wide.power.mean() > narrow.power.mean()
+
+    def test_bigger_window_helps_memory_bound_code(self):
+        small = _run("mcf", rob_size=96, lsq_size=16)
+        large = _run("mcf", rob_size=160, lsq_size=64)
+        assert large.cpi.mean() < small.cpi.mean()
+
+    @given(st.sampled_from([8, 16, 32, 64]))
+    @settings(max_examples=8, deadline=None)
+    def test_il1_size_never_hurts(self, il1):
+        base = _run("gcc", il1_size_kb=8)
+        this = _run("gcc", il1_size_kb=il1)
+        assert this.cpi.mean() <= base.cpi.mean() + 1e-9
+
+
+class TestDVMEffects:
+    def test_dvm_never_increases_iq_avf(self):
+        wl = get_benchmark("gcc")
+        cfg = baseline_config()
+        off = simulate_interval(wl, cfg, 64, noise=False)
+        on = simulate_interval(wl, cfg.with_dvm(True, 0.3), 64, noise=False)
+        assert np.all(on.iq_avf <= off.iq_avf + 1e-12)
+
+    def test_dvm_costs_performance_when_engaged(self):
+        wl = get_benchmark("gcc")
+        cfg = baseline_config()
+        off = simulate_interval(wl, cfg, 64, noise=False)
+        on = simulate_interval(wl, cfg.with_dvm(True, 0.2), 64, noise=False)
+        if on.components["dvm_engaged"].any():
+            assert on.cpi.mean() >= off.cpi.mean()
+
+    def test_lower_threshold_lower_avf(self):
+        wl = get_benchmark("gcc")
+        lo = simulate_interval(wl, baseline_config().with_dvm(True, 0.2),
+                               64, noise=False)
+        hi = simulate_interval(wl, baseline_config().with_dvm(True, 0.5),
+                               64, noise=False)
+        assert lo.iq_avf.mean() <= hi.iq_avf.mean() + 1e-12
+
+    def test_dvm_engagement_flag(self):
+        wl = get_benchmark("mcf")  # high AVF: triggers often
+        on = simulate_interval(wl, baseline_config().with_dvm(True, 0.2),
+                               64, noise=False)
+        assert on.components["dvm_engaged"].max() == 1.0
+
+
+class TestResolutionConsistency:
+    def test_mean_stable_across_resolutions(self):
+        """Coarser sampling is an average of finer sampling, so the mean
+        CPI must agree across resolutions (no noise)."""
+        means = [
+            _run("gcc", n_samples=n).cpi.mean() for n in (64, 256, 1024)
+        ]
+        assert np.allclose(means, means[0], rtol=0.02)
+
+    def test_finer_sampling_reveals_more_variance(self):
+        coarse = _run("gcc", n_samples=64).cpi
+        fine = _run("gcc", n_samples=1024).cpi
+        assert fine.std() >= coarse.std() * 0.9
+
+
+class TestSimulatorFacade:
+    def test_facade_matches_direct_call(self):
+        sim = Simulator(noise=True)
+        res = sim.run("gcc", baseline_config(), 64)
+        direct = simulate_interval(get_benchmark("gcc"), baseline_config(),
+                                   64, noise=True)
+        assert np.allclose(res.trace("cpi"), direct.cpi)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator(backend="fpga")
+
+    def test_aggregate(self):
+        sim = Simulator()
+        res = sim.run("gcc", baseline_config(), 64)
+        assert res.aggregate("cpi") == pytest.approx(res.trace("cpi").mean())

@@ -1,0 +1,123 @@
+"""Unit and property tests for repro.dse.lhs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse.lhs import (
+    best_lhs_matrix,
+    l2_star_discrepancy,
+    latin_hypercube,
+    matrix_to_level_indices,
+    sample_test_configs,
+    sample_train_configs,
+)
+from repro.dse.space import paper_design_space
+from repro.errors import SamplingError
+
+
+class TestLatinHypercube:
+    @given(st.integers(2, 40), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_stratification_property(self, n, d):
+        """Each column has exactly one point per stratum — the defining
+        LHS property."""
+        matrix = latin_hypercube(n, d, seed=n * 31 + d)
+        assert matrix.shape == (n, d)
+        for j in range(d):
+            strata = np.floor(matrix[:, j] * n).astype(int)
+            assert sorted(strata.tolist()) == list(range(n))
+
+    def test_values_in_unit_cube(self):
+        m = latin_hypercube(100, 9, seed=0)
+        assert np.all(m >= 0.0) and np.all(m < 1.0)
+
+    def test_deterministic_given_seed(self):
+        assert np.allclose(latin_hypercube(20, 3, seed=5),
+                           latin_hypercube(20, 3, seed=5))
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(SamplingError):
+            latin_hypercube(0, 3)
+        with pytest.raises(SamplingError):
+            latin_hypercube(3, 0)
+
+
+class TestDiscrepancy:
+    def test_lhs_beats_clumped_points(self):
+        rng = np.random.default_rng(0)
+        lhs = latin_hypercube(64, 4, seed=1)
+        clumped = 0.05 * rng.uniform(size=(64, 4))  # all near the origin
+        assert l2_star_discrepancy(lhs) < l2_star_discrepancy(clumped)
+
+    def test_best_lhs_beats_iid_uniform(self):
+        """The paper's actual sampler (best-of-m LHS) should beat naive
+        iid sampling essentially always."""
+        wins = 0
+        for seed in range(5):
+            rng = np.random.default_rng(seed + 100)
+            lhs = best_lhs_matrix(50, 5, n_matrices=10, seed=seed)
+            iid = rng.uniform(size=(50, 5))
+            wins += int(l2_star_discrepancy(lhs) < l2_star_discrepancy(iid))
+        assert wins == 5
+
+    def test_known_single_point(self):
+        # For one point x in [0,1]^1, Warnock's formula is analytic:
+        # D^2 = 1/3 - (1 - x^2) + (1 - x)
+        x = 0.3
+        expected = np.sqrt(1.0 / 3.0 - (1 - x * x) + (1 - x))
+        assert l2_star_discrepancy([[x]]) == pytest.approx(expected)
+
+    def test_out_of_cube_rejected(self):
+        with pytest.raises(SamplingError):
+            l2_star_discrepancy([[1.5, 0.0]])
+
+    def test_best_of_many_at_least_as_good(self):
+        single = l2_star_discrepancy(latin_hypercube(40, 6, seed=0))
+        best = l2_star_discrepancy(best_lhs_matrix(40, 6, n_matrices=10, seed=0))
+        assert best <= single + 1e-12
+
+
+class TestLevelMapping:
+    def test_indices_in_range(self):
+        m = latin_hypercube(30, 3, seed=2)
+        idx = matrix_to_level_indices(m, [4, 3, 5])
+        assert idx.shape == (30, 3)
+        assert idx[:, 0].max() < 4
+        assert idx[:, 1].max() < 3
+        assert idx[:, 2].max() < 5
+
+    def test_levels_covered_evenly(self):
+        m = latin_hypercube(40, 1, seed=3)
+        idx = matrix_to_level_indices(m, [4])
+        counts = np.bincount(idx[:, 0], minlength=4)
+        assert np.all(counts == 10)  # stratification guarantees balance
+
+    def test_mismatched_counts_rejected(self):
+        with pytest.raises(SamplingError):
+            matrix_to_level_indices(latin_hypercube(5, 2), [4])
+
+
+class TestPaperSampling:
+    def test_train_configs_distinct_and_from_train_levels(self):
+        space = paper_design_space()
+        configs = sample_train_configs(space, n=200, n_matrices=5, seed=0)
+        assert len({c.key() for c in configs}) == 200
+        for cfg in configs[:20]:
+            for p in space.parameters:
+                assert getattr(cfg, p.name) in p.train_levels
+
+    def test_test_configs_from_test_levels(self):
+        space = paper_design_space()
+        configs = sample_test_configs(space, n=50, seed=1)
+        assert len(configs) == 50
+        for cfg in configs:
+            for p in space.parameters:
+                assert getattr(cfg, p.name) in p.test_levels
+
+    def test_deterministic(self):
+        space = paper_design_space()
+        a = sample_train_configs(space, n=30, n_matrices=3, seed=7)
+        b = sample_train_configs(space, n=30, n_matrices=3, seed=7)
+        assert [c.key() for c in a] == [c.key() for c in b]

@@ -1,0 +1,175 @@
+"""Unit and property tests for repro.core.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    BoxplotStats,
+    boxplot_stats,
+    directional_asymmetry_percent,
+    directional_symmetry,
+    mae,
+    mean_relative_error_percent,
+    mse,
+    nmse_percent,
+    overall_median,
+    quartile_thresholds,
+    rmse,
+    scenario_asymmetries,
+    signal_nmse_percent,
+    summarize_errors,
+    threshold_violation_fraction,
+)
+from repro.errors import ModelError
+
+
+def _traces(n=16):
+    return st.lists(st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+                    min_size=n, max_size=n)
+
+
+class TestPointwiseErrors:
+    def test_mse_zero_for_exact_prediction(self):
+        x = np.arange(10.0)
+        assert mse(x, x) == 0.0
+
+    def test_mse_known_value(self):
+        assert mse([0.0, 0.0], [1.0, 3.0]) == pytest.approx(5.0)
+
+    def test_rmse_is_sqrt_of_mse(self):
+        a, p = [0.0, 0.0], [1.0, 3.0]
+        assert rmse(a, p) == pytest.approx(np.sqrt(mse(a, p)))
+
+    def test_mae_known_value(self):
+        assert mae([0.0, 0.0], [1.0, -3.0]) == pytest.approx(2.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            mse([1.0, 2.0], [1.0])
+
+    @given(_traces(), _traces())
+    @settings(max_examples=40, deadline=None)
+    def test_mse_nonnegative_and_symmetric(self, a, p):
+        assert mse(a, p) >= 0.0
+        assert mse(a, p) == pytest.approx(mse(p, a))
+
+
+class TestNormalizedErrors:
+    def test_nmse_is_percent_of_variance(self):
+        rng = np.random.default_rng(0)
+        actual = rng.normal(size=256)
+        noise = rng.normal(size=256)
+        # Prediction = actual + noise with noise std = 10% of signal std.
+        scale = 0.1 * actual.std() / noise.std()
+        predicted = actual + noise * scale
+        assert nmse_percent(actual, predicted) == pytest.approx(1.0, rel=0.2)
+
+    def test_nmse_of_mean_prediction_is_100(self):
+        actual = np.array([1.0, 2.0, 3.0, 4.0])
+        predicted = np.full(4, actual.mean())
+        assert nmse_percent(actual, predicted) == pytest.approx(100.0)
+
+    def test_nmse_constant_trace_perfect_prediction(self):
+        assert nmse_percent([5.0] * 8, [5.0] * 8) == 0.0
+
+    def test_nmse_constant_trace_wrong_prediction(self):
+        v = nmse_percent([5.0] * 8, [6.0] * 8)
+        assert v > 0.0 and np.isfinite(v)
+
+    def test_signal_nmse_uses_mean_square(self):
+        actual = np.array([2.0, 2.0])
+        predicted = np.array([2.2, 1.8])
+        expected = 100.0 * np.mean([0.04, 0.04]) / 4.0
+        assert signal_nmse_percent(actual, predicted) == pytest.approx(expected)
+
+    def test_mean_relative_error(self):
+        assert mean_relative_error_percent([2.0, 4.0], [2.2, 3.6]) == pytest.approx(10.0)
+
+    def test_nmse_scale_invariance(self):
+        rng = np.random.default_rng(1)
+        a = rng.uniform(1, 2, size=64)
+        p = a + rng.normal(scale=0.05, size=64)
+        assert nmse_percent(a, p) == pytest.approx(nmse_percent(a * 50, p * 50), rel=1e-9)
+
+
+class TestThresholds:
+    def test_quartile_thresholds_formula(self):
+        trace = [0.0, 1.0, 2.0, 4.0]
+        q1, q2, q3 = quartile_thresholds(trace)
+        assert (q1, q2, q3) == (1.0, 2.0, 3.0)
+
+    def test_ds_perfect_prediction(self):
+        trace = np.linspace(0, 1, 32)
+        assert directional_symmetry(trace, trace, 0.5) == 1.0
+
+    def test_ds_half_random(self):
+        actual = np.array([0.0, 1.0, 0.0, 1.0])
+        predicted = np.array([1.0, 1.0, 0.0, 0.0])  # 2 of 4 correct sides
+        assert directional_symmetry(actual, predicted, 0.5) == 0.5
+
+    def test_asymmetry_complement(self):
+        actual = np.array([0.0, 1.0, 0.0, 1.0])
+        predicted = np.array([1.0, 1.0, 0.0, 0.0])
+        assert directional_asymmetry_percent(actual, predicted, 0.5) == pytest.approx(50.0)
+
+    def test_scenario_asymmetries_returns_three(self):
+        rng = np.random.default_rng(2)
+        a = rng.uniform(size=128)
+        p = a + rng.normal(scale=0.02, size=128)
+        out = scenario_asymmetries(a, p)
+        assert len(out) == 3
+        assert all(0.0 <= v <= 100.0 for v in out)
+
+    def test_violation_fraction(self):
+        assert threshold_violation_fraction([0.1, 0.2, 0.5, 0.9], 0.5) == pytest.approx(0.5)
+
+    @given(_traces(), st.floats(-50, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_ds_bounds(self, trace, threshold):
+        p = list(reversed(trace))
+        ds = directional_symmetry(trace, p, threshold)
+        assert 0.0 <= ds <= 1.0
+
+
+class TestBoxplots:
+    def test_median_and_quartiles(self):
+        stats = boxplot_stats(np.arange(1.0, 102.0))  # 1..101
+        assert stats.median == pytest.approx(51.0)
+        assert stats.q1 == pytest.approx(26.0)
+        assert stats.q3 == pytest.approx(76.0)
+        assert stats.iqr == pytest.approx(50.0)
+
+    def test_outlier_detection(self):
+        values = np.concatenate([np.ones(20), [100.0]])
+        stats = boxplot_stats(values)
+        assert stats.outliers == (100.0,)
+        assert stats.whisker_high == pytest.approx(1.0)
+
+    def test_no_outliers_whiskers_at_extremes(self):
+        values = np.linspace(0, 10, 50)
+        stats = boxplot_stats(values)
+        assert stats.whisker_low == pytest.approx(0.0)
+        assert stats.whisker_high == pytest.approx(10.0)
+        assert stats.outliers == ()
+
+    def test_summarize_errors_keys(self):
+        out = summarize_errors([1.0, 2.0, 3.0])
+        assert set(out) >= {"median", "mean", "max", "min", "q1", "q3", "n", "boxplot"}
+        assert out["n"] == 3
+        assert isinstance(out["boxplot"], BoxplotStats)
+
+    def test_overall_median_pools_benchmarks(self):
+        assert overall_median([[1.0, 2.0], [3.0, 4.0, 100.0]]) == pytest.approx(3.0)
+
+    @given(st.lists(st.floats(0, 1000, allow_nan=False), min_size=2, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_boxplot_invariants(self, values):
+        stats = boxplot_stats(values)
+        assert stats.q1 <= stats.median <= stats.q3
+        # Whiskers bracket the median (interpolated percentiles can land
+        # beyond every inlier, so they need not bracket the hinges).
+        assert stats.whisker_low <= stats.median <= stats.whisker_high
+        for out in stats.outliers:
+            assert out < stats.whisker_low or out > stats.whisker_high

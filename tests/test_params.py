@@ -1,0 +1,92 @@
+"""Unit tests for repro.uarch.params."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.uarch.params import (
+    TABLE1_ROWS,
+    VARIED_PARAMETERS,
+    MachineConfig,
+    baseline_config,
+)
+
+
+class TestBaseline:
+    def test_baseline_matches_table1(self):
+        cfg = baseline_config()
+        assert cfg.fetch_width == 8
+        assert cfg.iq_size == 96
+        assert cfg.rob_size == 96
+        assert cfg.lsq_size == 48
+        assert cfg.l2_size_kb == 2048
+        assert cfg.l2_latency == 12
+        assert cfg.il1_size_kb == 32
+        assert cfg.dl1_size_kb == 64
+        assert cfg.dl1_latency == 1
+        assert cfg.memory_latency == 200
+        assert cfg.branch_predictor_entries == 2048
+
+    def test_table1_rows_complete(self):
+        names = [r[0] for r in TABLE1_ROWS]
+        assert "Branch Predictor" in names
+        assert "L2 Cache" in names
+        assert len(TABLE1_ROWS) == 15
+
+    def test_overrides(self):
+        cfg = baseline_config(fetch_width=4, l2_size_kb=1024)
+        assert cfg.fetch_width == 4
+        assert cfg.l2_size_kb == 1024
+        assert cfg.rob_size == 96  # untouched
+
+
+class TestValidation:
+    @pytest.mark.parametrize("name", VARIED_PARAMETERS)
+    def test_nonpositive_rejected(self, name):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(**{name: 0})
+
+    def test_lsq_cannot_exceed_rob(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(rob_size=96, lsq_size=128)
+
+    def test_bad_dvm_threshold(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(dvm_threshold=1.5)
+
+    def test_float_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(l2_size_kb=2048.5)
+
+
+class TestBehaviour:
+    def test_key_is_hashable_and_distinct(self):
+        a = baseline_config()
+        b = baseline_config(fetch_width=4)
+        assert a.key() != b.key()
+        assert hash(a.key()) != hash(b.key()) or a.key() != b.key()
+
+    def test_varied_values(self):
+        values = baseline_config().varied_values()
+        assert set(values) == set(VARIED_PARAMETERS)
+
+    def test_with_dvm(self):
+        cfg = baseline_config().with_dvm(True, 0.4)
+        assert cfg.dvm_enabled
+        assert cfg.dvm_threshold == 0.4
+        assert not baseline_config().dvm_enabled
+
+    def test_pipeline_depth_grows_with_width(self):
+        depths = [MachineConfig(fetch_width=w).pipeline_depth
+                  for w in (2, 4, 8, 16)]
+        assert depths == sorted(depths)
+        assert depths[0] >= 10
+
+    def test_describe_mentions_all_varied_parameters(self):
+        text = baseline_config().describe()
+        for name in VARIED_PARAMETERS:
+            assert name in text
+
+    def test_frozen(self):
+        cfg = baseline_config()
+        with pytest.raises(Exception):
+            cfg.fetch_width = 4

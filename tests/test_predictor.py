@@ -1,0 +1,176 @@
+"""Unit tests for repro.core.predictor (the wavelet neural network)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import nmse_percent
+from repro.core.predictor import PredictorSettings, WaveletNeuralPredictor
+from repro.errors import ModelError, NotFittedError
+
+
+def _synthetic_dynamics(n_cfg=80, n_samples=64, seed=0):
+    """Config-dependent traces: a fixed phase pattern whose amplitudes
+    respond smoothly (but non-linearly) to the design vector."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n_cfg, 4))
+    t = np.linspace(0, 1, n_samples)
+    step = (t > 0.5).astype(float)
+    traces = []
+    for x in X:
+        base = 1.0 + 0.8 * x[0]
+        amp = 0.3 + 0.5 * x[1]
+        burst = 0.6 / (1.0 + np.exp(-(x[2] - 0.5) * 8))
+        wave = amp * np.sin(2 * np.pi * 4 * t)
+        traces.append(base + wave + burst * step + 0.2 * x[3] * np.cos(2 * np.pi * t))
+    return X, np.vstack(traces)
+
+
+class TestSettings:
+    def test_defaults_match_paper(self):
+        s = PredictorSettings()
+        assert s.n_coefficients == 16
+        assert s.scheme == "magnitude"
+        assert s.wavelet == "haar"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_coefficients": 0},
+        {"scheme": "entropy"},
+        {"wavelet": "morlet"},
+        {"convention": "weird"},
+    ])
+    def test_invalid_settings_rejected(self, kwargs):
+        with pytest.raises(ModelError):
+            WaveletNeuralPredictor(**kwargs)
+
+    def test_settings_object_and_kwargs_mutually_exclusive(self):
+        with pytest.raises(ModelError):
+            WaveletNeuralPredictor(PredictorSettings(), n_coefficients=8)
+
+
+class TestFitPredict:
+    def test_prediction_shape(self):
+        X, traces = _synthetic_dynamics()
+        model = WaveletNeuralPredictor(n_coefficients=8).fit(X, traces)
+        pred = model.predict(X[:5])
+        assert pred.shape == (5, traces.shape[1])
+
+    def test_predict_one(self):
+        X, traces = _synthetic_dynamics()
+        model = WaveletNeuralPredictor(n_coefficients=8).fit(X, traces)
+        single = model.predict_one(X[0])
+        assert single.shape == (traces.shape[1],)
+        assert np.allclose(single, model.predict(X[:1])[0])
+
+    def test_training_error_reasonable(self):
+        X, traces = _synthetic_dynamics()
+        model = WaveletNeuralPredictor(n_coefficients=16).fit(X, traces)
+        errs = model.score(X, traces)
+        assert np.median(errs) < 15.0
+
+    def test_generalization(self):
+        X, traces = _synthetic_dynamics(n_cfg=120, seed=1)
+        model = WaveletNeuralPredictor(n_coefficients=16).fit(X[:90], traces[:90])
+        errs = model.score(X[90:], traces[90:])
+        assert np.median(errs) < 25.0
+
+    def test_more_coefficients_reduce_training_error(self):
+        X, traces = _synthetic_dynamics(seed=2)
+        few = WaveletNeuralPredictor(n_coefficients=4).fit(X, traces)
+        many = WaveletNeuralPredictor(n_coefficients=32).fit(X, traces)
+        assert (np.median(many.score(X, traces))
+                <= np.median(few.score(X, traces)) + 1e-9)
+
+    @pytest.mark.parametrize("k", [4, 16])
+    def test_magnitude_beats_order_selection(self, k):
+        # The paper's Section 3 claim; at these k the energy-compaction
+        # argument is unambiguous on this synthetic (the full benchmark
+        # comparison lives in the selection-ablation experiment).
+        X, traces = _synthetic_dynamics(seed=3)
+        mag = WaveletNeuralPredictor(n_coefficients=k, scheme="magnitude").fit(X, traces)
+        order = WaveletNeuralPredictor(n_coefficients=k, scheme="order").fit(X, traces)
+        assert (np.median(mag.score(X, traces))
+                <= np.median(order.score(X, traces)) + 1e-9)
+
+    def test_number_of_networks_equals_k(self):
+        X, traces = _synthetic_dynamics()
+        model = WaveletNeuralPredictor(n_coefficients=12).fit(X, traces)
+        assert model.n_networks == 12
+        assert len(model.selected_indices_) == 12
+
+    def test_unselected_coefficients_are_zero(self):
+        X, traces = _synthetic_dynamics()
+        model = WaveletNeuralPredictor(n_coefficients=6).fit(X, traces)
+        coeffs = model.predict_coefficients(X[:3])
+        mask = np.ones(traces.shape[1], dtype=bool)
+        mask[model.selected_indices_] = False
+        assert np.allclose(coeffs[:, mask], 0.0)
+
+    def test_order_scheme_selects_prefix(self):
+        X, traces = _synthetic_dynamics()
+        model = WaveletNeuralPredictor(n_coefficients=5, scheme="order").fit(X, traces)
+        assert model.selected_indices_.tolist() == [0, 1, 2, 3, 4]
+
+    def test_db4_wavelet_supported(self):
+        X, traces = _synthetic_dynamics(n_cfg=60)
+        model = WaveletNeuralPredictor(n_coefficients=8, wavelet="db4",
+                                       convention="orthonormal").fit(X, traces)
+        errs = model.score(X, traces)
+        assert np.all(np.isfinite(errs))
+
+
+class TestScoreAndImportance:
+    def test_score_uses_nmse_by_default(self):
+        X, traces = _synthetic_dynamics(n_cfg=40)
+        model = WaveletNeuralPredictor(n_coefficients=8).fit(X, traces)
+        errs = model.score(X[:4], traces[:4])
+        pred = model.predict(X[:4])
+        manual = [nmse_percent(a, p) for a, p in zip(traces[:4], pred)]
+        assert errs == pytest.approx(manual)
+
+    def test_split_importance_shapes(self):
+        X, traces = _synthetic_dynamics(n_cfg=60)
+        model = WaveletNeuralPredictor(n_coefficients=8).fit(X, traces)
+        imp = model.split_importance()
+        assert imp["order"].shape == (4,)
+        assert imp["frequency"].shape == (4,)
+        assert imp["frequency"].sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_importance_finds_informative_parameter(self):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(size=(100, 3))
+        t = np.linspace(0, 1, 32)
+        # Only parameter 1 matters.
+        traces = np.vstack([1.0 + x[1] * np.sin(2 * np.pi * 2 * t) + 2 * x[1]
+                            for x in X])
+        model = WaveletNeuralPredictor(n_coefficients=8).fit(X, traces)
+        imp = model.split_importance()
+        assert imp["frequency"][1] == imp["frequency"].max()
+
+
+class TestValidation:
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            WaveletNeuralPredictor().predict([[0.0]])
+
+    def test_row_count_mismatch(self):
+        with pytest.raises(ModelError):
+            WaveletNeuralPredictor().fit(np.ones((4, 2)), np.ones((5, 8)))
+
+    def test_k_exceeding_samples_rejected(self):
+        with pytest.raises(ModelError):
+            WaveletNeuralPredictor(n_coefficients=64).fit(
+                np.random.default_rng(0).uniform(size=(20, 2)),
+                np.ones((20, 16)),
+            )
+
+    def test_predict_wrong_feature_count(self):
+        X, traces = _synthetic_dynamics(n_cfg=40)
+        model = WaveletNeuralPredictor(n_coefficients=4).fit(X, traces)
+        with pytest.raises(ModelError):
+            model.predict(np.ones((2, 9)))
+
+    def test_score_shape_mismatch(self):
+        X, traces = _synthetic_dynamics(n_cfg=40)
+        model = WaveletNeuralPredictor(n_coefficients=4).fit(X, traces)
+        with pytest.raises(ModelError):
+            model.score(X[:2], traces[:2, :16])

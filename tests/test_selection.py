@@ -1,0 +1,145 @@
+"""Unit and property tests for repro.core.selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.selection import (
+    consensus_ranking,
+    energy_captured,
+    magnitude_ranks,
+    rank_by_magnitude,
+    rank_map,
+    ranking_stability,
+    select_coefficients,
+    truncate_coefficients,
+)
+from repro.errors import ModelError
+
+
+def _coeff_vectors():
+    return st.lists(
+        st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False),
+        min_size=4, max_size=64,
+    )
+
+
+class TestRanking:
+    def test_rank_by_magnitude_simple(self):
+        order = rank_by_magnitude([1.0, -5.0, 3.0, 0.5])
+        assert order.tolist() == [1, 2, 0, 3]
+
+    def test_ties_break_toward_lower_index(self):
+        order = rank_by_magnitude([2.0, -2.0, 2.0])
+        assert order.tolist() == [0, 1, 2]
+
+    def test_magnitude_ranks_inverse_of_order(self):
+        coeffs = np.array([0.1, 9.0, -3.0, 2.0])
+        order = rank_by_magnitude(coeffs)
+        ranks = magnitude_ranks(coeffs)
+        for rank, idx in enumerate(order):
+            assert ranks[idx] == rank
+
+    @given(_coeff_vectors())
+    @settings(max_examples=40, deadline=None)
+    def test_ranking_is_permutation(self, coeffs):
+        order = rank_by_magnitude(coeffs)
+        assert sorted(order.tolist()) == list(range(len(coeffs)))
+
+    @given(_coeff_vectors())
+    @settings(max_examples=40, deadline=None)
+    def test_magnitudes_nonincreasing_along_ranking(self, coeffs):
+        arr = np.abs(np.asarray(coeffs, float))
+        order = rank_by_magnitude(coeffs)
+        mags = arr[order]
+        assert np.all(mags[:-1] >= mags[1:] - 1e-12)
+
+
+class TestSelection:
+    def test_magnitude_selects_largest(self):
+        coeffs = [0.1, 9.0, -3.0, 2.0]
+        idx, vals = select_coefficients(coeffs, 2, "magnitude")
+        assert idx.tolist() == [1, 2]
+        assert vals.tolist() == [9.0, -3.0]
+
+    def test_order_selects_prefix(self):
+        coeffs = [0.1, 9.0, -3.0, 2.0]
+        idx, vals = select_coefficients(coeffs, 2, "order")
+        assert idx.tolist() == [0, 1]
+        assert vals.tolist() == [0.1, 9.0]
+
+    def test_k_equals_n_keeps_everything(self):
+        coeffs = [1.0, 2.0, 3.0, 4.0]
+        out = truncate_coefficients(coeffs, 4)
+        assert out.tolist() == coeffs
+
+    def test_truncation_zeroes_unselected(self):
+        out = truncate_coefficients([0.1, 9.0, -3.0, 2.0], 2, "magnitude")
+        assert out.tolist() == [0.0, 9.0, -3.0, 0.0]
+
+    @pytest.mark.parametrize("k", [0, 5, -1])
+    def test_bad_k_rejected(self, k):
+        with pytest.raises(ModelError):
+            select_coefficients([1.0, 2.0, 3.0, 4.0], k)
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(ModelError):
+            select_coefficients([1.0, 2.0], 1, scheme="random")
+
+    @given(_coeff_vectors(), st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_magnitude_energy_dominates_order_energy(self, coeffs, k):
+        k = min(k, len(coeffs))
+        mag = energy_captured(coeffs, k, "magnitude")
+        order = energy_captured(coeffs, k, "order")
+        assert mag >= order - 1e-12
+
+    @given(_coeff_vectors())
+    @settings(max_examples=40, deadline=None)
+    def test_energy_captured_monotone_in_k(self, coeffs):
+        vals = [energy_captured(coeffs, k, "magnitude")
+                for k in range(1, len(coeffs) + 1)]
+        assert all(a <= b + 1e-12 for a, b in zip(vals, vals[1:]))
+        assert vals[-1] == pytest.approx(1.0, abs=1e-9)
+
+
+class TestConsensus:
+    def test_consensus_prefers_consistently_large_coefficients(self):
+        rng = np.random.default_rng(0)
+        mat = rng.normal(scale=0.1, size=(20, 8))
+        mat[:, 3] += 10.0
+        mat[:, 5] -= 6.0
+        ranking = consensus_ranking(mat)
+        assert ranking[0] == 3
+        assert ranking[1] == 5
+
+    def test_rank_map_shape_and_contents(self):
+        mat = np.array([[1.0, -2.0, 0.5], [3.0, 0.1, -0.2]])
+        ranks = rank_map(mat)
+        assert ranks.shape == (2, 3)
+        assert ranks[0].tolist() == [1, 0, 2]
+        assert ranks[1].tolist() == [0, 2, 1]
+
+    def test_stability_perfect_when_rows_identical(self):
+        row = np.array([5.0, 1.0, -3.0, 0.2, 0.0, 7.0])
+        mat = np.vstack([row] * 10)
+        assert ranking_stability(mat, 3) == pytest.approx(1.0)
+
+    def test_stability_low_for_adversarial_rows(self):
+        # Each row has a disjoint dominant set -> tiny overlap.
+        mat = np.zeros((4, 8))
+        for i in range(4):
+            mat[i, 2 * i:2 * i + 2] = 10.0
+        assert ranking_stability(mat, 2) < 0.2
+
+    def test_stability_single_row_is_one(self):
+        assert ranking_stability(np.array([[3.0, 1.0]]), 1) == 1.0
+
+    @given(st.integers(2, 6), st.integers(4, 16))
+    @settings(max_examples=20, deadline=None)
+    def test_stability_bounded(self, n_cfg, n_coef):
+        rng = np.random.default_rng(n_cfg * 100 + n_coef)
+        mat = rng.normal(size=(n_cfg, n_coef))
+        s = ranking_stability(mat, min(4, n_coef))
+        assert 0.0 <= s <= 1.0

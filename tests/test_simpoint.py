@@ -1,0 +1,86 @@
+"""Unit tests for the SimPoint-style interval selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.simpoint import (
+    SimPointResult,
+    bayesian_information_criterion,
+    kmeans,
+    pick_simpoint,
+)
+from repro.workloads.spec2000 import get_benchmark
+
+
+class TestKMeans:
+    def test_separates_obvious_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 0.05, size=(30, 2))
+        b = rng.normal(5.0, 0.05, size=(30, 2))
+        X = np.vstack([a, b])
+        labels, centroids, inertia = kmeans(X, 2, seed=1)
+        assert len(set(labels[:30])) == 1
+        assert len(set(labels[30:])) == 1
+        assert labels[0] != labels[-1]
+
+    def test_k_equals_n(self):
+        X = np.arange(8.0).reshape(4, 2)
+        labels, centroids, inertia = kmeans(X, 4, seed=0)
+        assert sorted(labels.tolist()) == [0, 1, 2, 3]
+        assert inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_k_one(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(20, 3))
+        labels, centroids, _ = kmeans(X, 1, seed=0)
+        assert np.all(labels == 0)
+        assert np.allclose(centroids[0], X.mean(axis=0))
+
+    def test_invalid_k(self):
+        with pytest.raises(WorkloadError):
+            kmeans(np.ones((3, 2)), 5)
+
+    def test_more_clusters_lower_inertia(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(size=(40, 3))
+        _, _, i2 = kmeans(X, 2, seed=0)
+        _, _, i6 = kmeans(X, 6, seed=0)
+        assert i6 <= i2
+
+
+class TestBIC:
+    def test_right_k_scores_best_on_separated_data(self):
+        rng = np.random.default_rng(4)
+        X = np.vstack([rng.normal(i * 10, 0.1, size=(20, 2))
+                       for i in range(3)])
+        scores = {}
+        for k in (1, 2, 3, 4):
+            labels, centroids, _ = kmeans(X, k, seed=0)
+            scores[k] = bayesian_information_criterion(X, labels, centroids)
+        assert max(scores, key=scores.get) in (3, 4)
+        assert scores[3] > scores[1]
+
+
+class TestPickSimpoint:
+    def test_result_structure(self):
+        result = pick_simpoint(get_benchmark("gcc"), n_intervals=64, seed=0)
+        assert isinstance(result, SimPointResult)
+        assert 0 <= result.representative_interval < 64
+        assert result.labels.shape == (64,)
+        assert result.cluster_weights.sum() == pytest.approx(1.0)
+
+    def test_representative_in_dominant_cluster(self):
+        result = pick_simpoint(get_benchmark("swim"), n_intervals=64, seed=0)
+        rep_label = result.labels[result.representative_interval]
+        assert rep_label == result.dominant_cluster
+
+    def test_fixed_cluster_count(self):
+        result = pick_simpoint(get_benchmark("gcc"), n_intervals=32,
+                               n_clusters=3, seed=0)
+        assert result.n_clusters == 3
+
+    def test_phase_rich_benchmark_needs_multiple_clusters(self):
+        result = pick_simpoint(get_benchmark("gcc"), n_intervals=64,
+                               max_clusters=6, seed=0)
+        assert result.n_clusters >= 2

@@ -1,0 +1,105 @@
+"""Unit tests for the twelve synthetic SPEC CPU 2000 models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.phases import FINE_RESOLUTION
+from repro.workloads.spec2000 import (
+    BENCHMARK_NAMES,
+    get_benchmark,
+    list_benchmarks,
+)
+
+
+class TestRegistry:
+    def test_twelve_benchmarks(self):
+        assert len(BENCHMARK_NAMES) == 12
+        assert len(list_benchmarks()) == 12
+
+    def test_paper_name_set(self):
+        assert set(BENCHMARK_NAMES) == {
+            "bzip2", "crafty", "eon", "gap", "gcc", "mcf",
+            "parser", "perlbmk", "swim", "twolf", "vortex", "vpr",
+        }
+
+    def test_aliases(self):
+        assert get_benchmark("bzip").name == "bzip2"
+        assert get_benchmark("perl").name == "perlbmk"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_benchmark("gzip")
+
+    def test_models_cached(self):
+        assert get_benchmark("gcc") is get_benchmark("gcc")
+
+
+class TestModelValidity:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_schedule_well_formed(self, name):
+        model = get_benchmark(name)
+        assert model.schedule.size == FINE_RESOLUTION
+        assert model.schedule.min() >= 0
+        assert model.schedule.max() < model.n_phases
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_every_phase_reachable(self, name):
+        model = get_benchmark(name)
+        used = set(np.unique(model.schedule))
+        assert used == set(range(model.n_phases))
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_weights_valid_at_paper_resolution(self, name):
+        weights = get_benchmark(name).phase_weights(128)
+        assert np.allclose(weights.sum(axis=1), 1.0)
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_description_nonempty(self, name):
+        assert get_benchmark(name).description
+
+
+class TestCharacterization:
+    """The qualitative benchmark characters the substitution relies on."""
+
+    def test_mcf_most_memory_bound(self):
+        def biggest_footprint(model):
+            log2kb, weight = model.footprint_components()
+            return float((log2kb * (weight > 0)).max())
+
+        mcf = biggest_footprint(get_benchmark("mcf"))
+        for other in ("crafty", "eon", "parser", "twolf"):
+            assert mcf > biggest_footprint(get_benchmark(other))
+
+    def test_crafty_branchiest(self):
+        crafty = get_benchmark("crafty").attribute_trace("f_branch", 64).mean()
+        swim = get_benchmark("swim").attribute_trace("f_branch", 64).mean()
+        assert crafty > 2 * swim
+
+    def test_swim_most_predictable_branches(self):
+        mp = {n: get_benchmark(n).attribute_trace("branch_mispredict", 64).mean()
+              for n in BENCHMARK_NAMES}
+        assert mp["swim"] == min(mp.values())
+
+    def test_swim_and_eon_high_ilp(self):
+        ilp = {n: get_benchmark(n).attribute_trace("ilp_limit", 64).mean()
+               for n in BENCHMARK_NAMES}
+        assert ilp["swim"] > ilp["mcf"]
+        assert ilp["eon"] > ilp["gcc"]
+
+    def test_mcf_has_highest_noise(self):
+        noise = {n: get_benchmark(n).noise.cpi for n in BENCHMARK_NAMES}
+        assert noise["mcf"] == max(noise.values())
+        assert noise["swim"] == min(noise.values())
+
+    def test_gcc_most_phase_rich(self):
+        assert get_benchmark("gcc").n_phases == max(
+            get_benchmark(n).n_phases for n in BENCHMARK_NAMES
+        )
+
+    def test_benchmarks_produce_distinct_dynamics(self):
+        traces = [get_benchmark(n).attribute_trace("f_load", 128)
+                  for n in BENCHMARK_NAMES]
+        for i in range(len(traces)):
+            for j in range(i + 1, len(traces)):
+                assert not np.allclose(traces[i], traces[j])

@@ -1,0 +1,112 @@
+"""Tests for the thermal model and DTM policy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.thermal import DTMPolicy, ThermalModel
+from repro.uarch.params import baseline_config
+from repro.uarch.simulator import Simulator
+
+
+class TestThermalModel:
+    def test_steady_state(self):
+        model = ThermalModel(r_thermal=0.5, t_ambient=40.0)
+        assert model.steady_state(80.0) == pytest.approx(80.0)
+
+    def test_constant_power_converges_to_steady_state(self):
+        model = ThermalModel(time_constant_intervals=4.0)
+        power = np.full(200, 60.0)
+        temp = model.temperature_trace(power, t_initial=model.t_ambient)
+        assert temp[-1] == pytest.approx(model.steady_state(60.0), abs=0.1)
+
+    def test_monotone_approach(self):
+        model = ThermalModel()
+        temp = model.temperature_trace(np.full(50, 90.0),
+                                       t_initial=model.t_ambient)
+        assert np.all(np.diff(temp) >= -1e-9)
+
+    def test_low_pass_behaviour(self):
+        """Temperature fluctuates far less than the power that drives it
+        (relative to their means)."""
+        model = ThermalModel(time_constant_intervals=8.0)
+        rng = np.random.default_rng(0)
+        power = 60.0 + 20.0 * rng.standard_normal(256)
+        temp = model.temperature_trace(power)
+        rel_power = power.std() / power.mean()
+        rel_temp = (temp - model.t_ambient).std() / (temp - model.t_ambient).mean()
+        assert rel_temp < rel_power / 2
+
+    def test_higher_power_hotter(self):
+        model = ThermalModel()
+        cool = model.temperature_trace(np.full(64, 30.0))
+        hot = model.temperature_trace(np.full(64, 120.0))
+        assert hot[-1] > cool[-1]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ThermalModel(r_thermal=0.0)
+        with pytest.raises(ConfigurationError):
+            ThermalModel(time_constant_intervals=-1)
+
+    def test_works_on_simulated_power(self):
+        result = Simulator().run("crafty", baseline_config(), 128)
+        temp = ThermalModel().temperature_trace(result.trace("power"))
+        assert temp.shape == (128,)
+        assert np.all(temp > ThermalModel().t_ambient - 1.0)
+        assert np.all(temp < 150.0)
+
+
+class TestDTMPolicy:
+    def test_invalid_policy(self):
+        with pytest.raises(ConfigurationError):
+            DTMPolicy(throttle_factor=1.5)
+        with pytest.raises(ConfigurationError):
+            DTMPolicy(hysteresis=-1.0)
+
+    def test_no_throttle_when_cool(self):
+        thermal = ThermalModel()
+        policy = DTMPolicy(trigger=200.0)
+        power = np.full(64, 50.0)
+        temp, managed, throttled = policy.apply(power, thermal)
+        assert not throttled.any()
+        assert np.allclose(managed, power)
+
+    def test_throttles_hot_workload(self):
+        thermal = ThermalModel(r_thermal=0.6, t_ambient=45.0)
+        policy = DTMPolicy(trigger=85.0, throttle_factor=0.5)
+        power = np.full(128, 120.0)     # steady state would be 117 C
+        temp, managed, throttled = policy.apply(power, thermal)
+        assert throttled.any()
+        assert managed[throttled].max() == pytest.approx(60.0)
+        # DTM keeps the die near the trigger rather than at 117 C.
+        assert temp.max() < 95.0
+
+    def test_hysteresis_creates_bursty_throttling(self):
+        thermal = ThermalModel(r_thermal=0.6, time_constant_intervals=4.0)
+        policy = DTMPolicy(trigger=85.0, hysteresis=6.0, throttle_factor=0.4)
+        power = np.full(256, 110.0)
+        _, _, throttled = policy.apply(power, thermal)
+        # With hysteresis the controller cycles on and off.
+        transitions = np.sum(np.diff(throttled.astype(int)) != 0)
+        assert transitions >= 2
+
+    def test_managed_cooler_than_unmanaged(self):
+        thermal = ThermalModel(r_thermal=0.6)
+        policy = DTMPolicy(trigger=80.0)
+        result = Simulator().run("crafty",
+                                 baseline_config(fetch_width=16, iq_size=128),
+                                 128)
+        power = result.trace("power")
+        unmanaged = thermal.temperature_trace(power)
+        managed_temp, _, throttled = policy.apply(power, thermal)
+        if throttled.any():
+            assert managed_temp.max() <= unmanaged.max() + 1e-9
+
+    def test_worst_case_headroom_sign(self):
+        thermal = ThermalModel(r_thermal=0.6)
+        policy = DTMPolicy(trigger=85.0)
+        cold = np.full(64, 20.0)
+        hot = np.full(64, 150.0)
+        assert policy.worst_case_headroom(cold, thermal) > 0
+        assert policy.worst_case_headroom(hot, thermal) < 0

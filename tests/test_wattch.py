@@ -1,0 +1,134 @@
+"""Unit tests for the Wattch-style power model."""
+
+import numpy as np
+import pytest
+
+from repro.power.wattch import (
+    STRUCTURES,
+    WattchModel,
+    clock_power,
+    leakage_power,
+    structure_energies,
+)
+from repro.uarch.params import MachineConfig, baseline_config
+
+
+def _mix(n=1):
+    ones = np.ones(n)
+    return {"f_load": 0.25 * ones, "f_store": 0.10 * ones,
+            "f_branch": 0.15 * ones, "f_fp": 0.05 * ones}
+
+
+class TestEnergies:
+    def test_all_structures_covered(self):
+        energies = structure_energies(baseline_config())
+        assert set(energies) == set(STRUCTURES)
+        assert all(e > 0 for e in energies.values())
+
+    def test_iq_energy_scales_linearly_with_entries(self):
+        small = structure_energies(baseline_config(iq_size=32))
+        large = structure_energies(baseline_config(iq_size=128))
+        # CAM broadcast: linear in entry count.
+        assert large["issue_queue"] / small["issue_queue"] == pytest.approx(4.0)
+
+    def test_cache_energy_sublinear_in_capacity(self):
+        small = structure_energies(baseline_config(dl1_size_kb=8))
+        large = structure_energies(baseline_config(dl1_size_kb=64))
+        ratio = large["dl1"] / small["dl1"]
+        assert 1.0 < ratio < 8.0
+
+    def test_width_scales_regfile_superlinearly(self):
+        narrow = structure_energies(MachineConfig(fetch_width=2))
+        wide = structure_energies(MachineConfig(fetch_width=16))
+        assert wide["regfile"] / narrow["regfile"] > 8.0
+
+
+class TestLeakageAndClock:
+    def test_leakage_grows_with_state(self):
+        small = leakage_power(MachineConfig(fetch_width=2, l2_size_kb=256,
+                                            rob_size=96, iq_size=32,
+                                            lsq_size=16, dl1_size_kb=8,
+                                            il1_size_kb=8))
+        large = leakage_power(MachineConfig(fetch_width=16, l2_size_kb=4096,
+                                            rob_size=160, iq_size=128,
+                                            lsq_size=64, dl1_size_kb=64,
+                                            il1_size_kb=64))
+        assert large > small > 0
+
+    def test_clock_gating_floor(self):
+        cfg = baseline_config()
+        idle = clock_power(cfg, 0.0)
+        busy = clock_power(cfg, 1.0)
+        assert 0 < idle < busy
+        assert idle == pytest.approx(0.25 * busy)
+
+
+class TestPowerTrace:
+    def test_shapes_and_positivity(self):
+        model = WattchModel(baseline_config())
+        ipc = np.linspace(0.5, 4.0, 16)
+        power = model.power_trace(ipc, _mix(16), np.full(16, 0.05),
+                                  np.full(16, 0.01))
+        assert power.shape == (16,)
+        assert np.all(power > 0)
+
+    def test_power_increases_with_ipc(self):
+        model = WattchModel(baseline_config())
+        lo = model.power_trace(np.array([1.0]), _mix(), np.array([0.05]),
+                               np.array([0.01]))
+        hi = model.power_trace(np.array([4.0]), _mix(), np.array([0.05]),
+                               np.array([0.01]))
+        assert hi[0] > lo[0]
+
+    def test_fp_heavy_mix_burns_more(self):
+        model = WattchModel(baseline_config())
+        int_mix = {"f_load": np.array(0.2), "f_store": np.array(0.1),
+                   "f_branch": np.array(0.1), "f_fp": np.array(0.0)}
+        fp_mix = {"f_load": np.array(0.2), "f_store": np.array(0.1),
+                  "f_branch": np.array(0.1), "f_fp": np.array(0.4)}
+        ipc = np.array(2.0)
+        assert (model.power_trace(ipc, fp_mix, np.array(0.05), np.array(0.01))
+                > model.power_trace(ipc, int_mix, np.array(0.05), np.array(0.01)))
+
+    def test_realistic_absolute_range(self):
+        model = WattchModel(baseline_config())
+        power = model.power_trace(np.array([2.0]), _mix(), np.array([0.05]),
+                                  np.array([0.01]))
+        assert 25.0 < power[0] < 160.0
+
+    def test_peak_power_sane(self):
+        assert 40.0 < WattchModel(baseline_config()).peak_power() < 400.0
+
+
+class TestCounterBackend:
+    def test_zero_cycles_gives_leakage(self):
+        model = WattchModel(baseline_config())
+        assert model.power_from_counters({}, 0) == pytest.approx(
+            leakage_power(baseline_config())
+        )
+
+    def test_counters_consistent_with_trace_model(self):
+        """Feeding the counter backend the same per-cycle activities as
+        the trace model must give the same power."""
+        cfg = baseline_config()
+        model = WattchModel(cfg)
+        ipc = 2.0
+        mix = {k: float(v[0]) for k, v in _mix(1).items()}
+        activities = model.activities_per_cycle(
+            np.array(ipc), {k: np.array(v) for k, v in mix.items()},
+            np.array(0.05), np.array(0.01),
+        )
+        cycles = 1000.0
+        counters = {k: float(v) * cycles for k, v in activities.items()}
+        counters["instructions"] = ipc * cycles
+        from_counters = model.power_from_counters(counters, cycles)
+        from_trace = model.power_trace(
+            np.array([ipc]), {k: np.array([v]) for k, v in mix.items()},
+            np.array([0.05]), np.array([0.01]),
+        )[0]
+        assert from_counters == pytest.approx(from_trace, rel=1e-9)
+
+    def test_unknown_counters_ignored(self):
+        model = WattchModel(baseline_config())
+        p = model.power_from_counters({"warp_scheduler": 1e9}, 100.0)
+        assert np.isfinite(p)

@@ -1,0 +1,221 @@
+"""Unit and property tests for repro.core.wavelets."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.wavelets import (
+    CONVENTIONS,
+    DecompositionLevel,
+    MultiresolutionAnalysis,
+    coefficient_levels,
+    dwt,
+    energy,
+    haar_dwt,
+    haar_idwt,
+    idwt,
+    pad_to_power_of_two,
+)
+from repro.errors import TransformError
+
+PAPER_DATA = [3, 4, 20, 25, 15, 5, 20, 3]
+PAPER_COEFFS = [11.875, 1.125, -9.5, -0.75, -0.5, -2.5, 5.0, 8.5]
+
+
+def _series(min_log=1, max_log=6):
+    """Hypothesis strategy: power-of-two float series."""
+    return st.integers(min_log, max_log).flatmap(
+        lambda k: st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+            min_size=2 ** k, max_size=2 ** k,
+        )
+    )
+
+
+class TestPaperExample:
+    """The worked example of the paper's Figure 2."""
+
+    def test_forward_transform_matches_figure_2(self):
+        assert haar_dwt(PAPER_DATA).tolist() == PAPER_COEFFS
+
+    def test_first_coefficient_is_overall_average(self):
+        assert haar_dwt(PAPER_DATA)[0] == pytest.approx(np.mean(PAPER_DATA))
+
+    def test_scale_2_approximations(self):
+        mra = MultiresolutionAnalysis(PAPER_DATA)
+        assert mra.approximation_at(2).tolist() == [3.5, 22.5, 10.0, 11.5]
+
+    def test_scale_2_details(self):
+        mra = MultiresolutionAnalysis(PAPER_DATA)
+        assert mra.detail_at(1).tolist() == [-0.5, -2.5, 5.0, 8.5]
+
+    def test_reconstruction_identity_from_figure_2(self):
+        # {13, 10.75} = {11.875 + 1.125, 11.875 - 1.125}
+        mra = MultiresolutionAnalysis(PAPER_DATA)
+        assert mra.approximation_at(3).tolist() == [13.0, 10.75]
+
+
+class TestRoundTrip:
+    @given(_series())
+    @settings(max_examples=60, deadline=None)
+    def test_haar_paper_roundtrip(self, data):
+        rec = haar_idwt(haar_dwt(data))
+        assert np.allclose(rec, data, rtol=1e-9, atol=1e-6)
+
+    @given(_series())
+    @settings(max_examples=60, deadline=None)
+    def test_haar_orthonormal_roundtrip(self, data):
+        rec = haar_idwt(haar_dwt(data, "orthonormal"), "orthonormal")
+        assert np.allclose(rec, data, rtol=1e-9, atol=1e-6)
+
+    @given(_series(min_log=2, max_log=6))
+    @settings(max_examples=40, deadline=None)
+    def test_db4_roundtrip(self, data):
+        rec = idwt(dwt(data, wavelet="db4"), wavelet="db4")
+        assert np.allclose(rec, data, rtol=1e-8, atol=1e-5)
+
+    @given(_series())
+    @settings(max_examples=40, deadline=None)
+    def test_orthonormal_preserves_energy(self, data):
+        coeffs = haar_dwt(data, "orthonormal")
+        assert energy(coeffs) == pytest.approx(energy(np.asarray(data, float)),
+                                               rel=1e-6, abs=1e-3)
+
+    @given(_series(), st.floats(-100, 100), st.floats(0.1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_linearity_of_transform(self, data, shift, scale):
+        arr = np.asarray(data, float)
+        base = haar_dwt(arr)
+        scaled = haar_dwt(arr * scale)
+        assert np.allclose(scaled, base * scale, rtol=1e-7, atol=1e-4)
+        shifted = haar_dwt(arr + shift)
+        # Shifting only changes the overall-average coefficient.
+        assert shifted[0] == pytest.approx(base[0] + shift, abs=1e-6)
+        assert np.allclose(shifted[1:], base[1:], atol=1e-6)
+
+
+class TestConstantAndStructure:
+    def test_constant_series_has_single_nonzero_coefficient(self):
+        coeffs = haar_dwt(np.full(64, 7.5))
+        assert coeffs[0] == pytest.approx(7.5)
+        assert np.allclose(coeffs[1:], 0.0)
+
+    def test_step_series_concentrates_in_coarse_detail(self):
+        data = np.concatenate([np.zeros(32), np.ones(32)])
+        coeffs = haar_dwt(data)
+        # Mean 0.5, coarsest detail -0.5, everything else ~0.
+        assert coeffs[0] == pytest.approx(0.5)
+        assert coeffs[1] == pytest.approx(-0.5)
+        assert np.allclose(coeffs[2:], 0.0)
+
+    def test_coefficient_levels_layout(self):
+        levels = coefficient_levels(8)
+        assert levels.tolist() == [0, 1, 2, 2, 3, 3, 3, 3]
+
+    def test_coefficient_levels_count_per_level(self):
+        levels = coefficient_levels(128)
+        for lvl in range(2, 8):
+            assert int(np.sum(levels == lvl)) == 2 ** (lvl - 1)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [[1, 2, 3], [1] * 6, [1] * 100])
+    def test_non_power_of_two_rejected(self, bad):
+        with pytest.raises(TransformError):
+            haar_dwt(bad)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TransformError):
+            haar_dwt([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(TransformError):
+            haar_dwt([1.0, float("nan"), 2.0, 3.0])
+
+    def test_unknown_convention_rejected(self):
+        with pytest.raises(TransformError):
+            haar_dwt([1, 2], convention="bogus")
+
+    def test_unknown_wavelet_rejected(self):
+        with pytest.raises(TransformError):
+            dwt([1, 2], wavelet="sym9")
+
+    def test_2d_rejected(self):
+        with pytest.raises(TransformError):
+            haar_dwt(np.ones((4, 4)))
+
+
+class TestPadding:
+    def test_pad_leaves_power_of_two_alone(self):
+        out = pad_to_power_of_two([1.0, 2.0, 3.0, 4.0])
+        assert out.tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_pad_extends_to_next_power(self):
+        out = pad_to_power_of_two([1.0, 2.0, 3.0])
+        assert out.size == 4
+        assert out.tolist() == [1.0, 2.0, 3.0, 3.0]  # edge mode
+
+    def test_pad_returns_copy(self):
+        src = np.array([1.0, 2.0])
+        out = pad_to_power_of_two(src)
+        out[0] = 99.0
+        assert src[0] == 1.0
+
+
+class TestMultiresolutionAnalysis:
+    def test_full_reconstruction_exact(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=64)
+        mra = MultiresolutionAnalysis(data)
+        assert np.allclose(mra.reconstruct(), data)
+
+    def test_partial_reconstruction_error_decreases_with_more_coefficients(self):
+        rng = np.random.default_rng(4)
+        t = np.linspace(0, 1, 64)
+        data = np.sin(2 * np.pi * 3 * t) + 0.2 * rng.normal(size=64)
+        mra = MultiresolutionAnalysis(data)
+        errors = [mra.reconstruction_error(range(k)) for k in (1, 2, 4, 8, 16, 64)]
+        assert all(a >= b - 1e-12 for a, b in zip(errors, errors[1:]))
+        assert errors[-1] == pytest.approx(0.0, abs=1e-18)
+
+    def test_keep_all_indices_equals_full_reconstruction(self):
+        data = np.arange(16.0)
+        mra = MultiresolutionAnalysis(data)
+        assert np.allclose(mra.reconstruct(range(16)), data)
+
+    def test_keep_out_of_range_rejected(self):
+        mra = MultiresolutionAnalysis(np.arange(8.0))
+        with pytest.raises(TransformError):
+            mra.reconstruct([9])
+
+    def test_scale_bounds_checked(self):
+        mra = MultiresolutionAnalysis(np.arange(8.0))
+        with pytest.raises(TransformError):
+            mra.approximation_at(0)
+        with pytest.raises(TransformError):
+            mra.approximation_at(5)
+        with pytest.raises(TransformError):
+            mra.detail_at(4)
+
+    def test_n_levels(self):
+        assert MultiresolutionAnalysis(np.arange(128.0)).n_levels == 7
+
+    def test_data_property_is_copy(self):
+        data = np.arange(8.0)
+        mra = MultiresolutionAnalysis(data)
+        mra.data[0] = 99
+        assert mra.data[0] == 0.0
+
+    def test_levels_are_dataclasses(self):
+        mra = MultiresolutionAnalysis(np.arange(8.0))
+        assert isinstance(mra._levels[0], DecompositionLevel)
+
+    @pytest.mark.parametrize("convention", CONVENTIONS)
+    def test_coefficients_match_flat_transform(self, convention):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=32)
+        mra = MultiresolutionAnalysis(data, convention)
+        assert np.allclose(mra.coefficients, haar_dwt(data, convention))
