@@ -40,8 +40,21 @@ from repro.core.metrics import (
 from repro.core.wavelets import MultiresolutionAnalysis, dwt, haar_dwt, haar_idwt, idwt
 from repro.core.rbf import RBFNetwork
 from repro.core.regression_tree import RegressionTree
-from repro.dse.explorer import Constraint, Objective, PredictiveExplorer
+from repro.dse.explorer import (
+    Constraint,
+    Objective,
+    PredictiveExplorer,
+    register_reducer,
+)
 from repro.dse.lhs import l2_star_discrepancy, latin_hypercube
+from repro.engine import (
+    ExecutionEngine,
+    LocalExecutor,
+    ParallelExecutor,
+    ResultCache,
+    SimJob,
+    create_engine,
+)
 from repro.dse.runner import SweepPlan, SweepRunner
 from repro.dse.space import DesignSpace, paper_design_space
 from repro.dse.dataset import DynamicsDataset
@@ -87,6 +100,14 @@ __all__ = [
     "PredictiveExplorer",
     "Constraint",
     "Objective",
+    "register_reducer",
+    # Execution engine
+    "SimJob",
+    "ExecutionEngine",
+    "LocalExecutor",
+    "ParallelExecutor",
+    "ResultCache",
+    "create_engine",
     "ThermalModel",
     "DTMPolicy",
     # Workloads

@@ -11,8 +11,16 @@ Commands
     with sparklines.
 ``run-experiment``
     Execute one experiment driver and print its tables.
+``sweep``
+    Run a train/test design-space sweep through the execution engine
+    (optionally parallel and cached) and report timing.
 ``simpoint``
     Representative-interval selection for a benchmark.
+
+The ``--jobs N`` / ``--cache-dir DIR`` flags (on ``run-experiment`` and
+``sweep``) select the execution engine's worker-process count and
+on-disk result cache; they map to the ``REPRO_JOBS`` / ``REPRO_CACHE_DIR``
+environment variables honoured by the library.
 """
 
 from __future__ import annotations
@@ -50,11 +58,31 @@ def _build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("run-experiment", help="run one experiment driver")
     exp.add_argument("experiment_id")
     exp.add_argument("--scale", choices=("paper", "quick"), default="quick")
+    _add_engine_arguments(exp)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a design-space sweep through the engine")
+    sweep.add_argument("benchmark")
+    sweep.add_argument("--n-train", type=int, default=200)
+    sweep.add_argument("--n-test", type=int, default=50)
+    sweep.add_argument("--samples", type=int, default=128)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--out", default=None, metavar="PREFIX",
+                       help="save datasets to PREFIX.train.npz / PREFIX.test.npz")
+    _add_engine_arguments(sweep)
 
     sp = sub.add_parser("simpoint", help="pick a representative interval")
     sp.add_argument("benchmark")
     sp.add_argument("--intervals", type=int, default=64)
     return parser
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for sweep execution "
+                             "(default: in-process)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="on-disk simulation result cache directory")
 
 
 def _cmd_list_benchmarks(out) -> int:
@@ -96,6 +124,13 @@ def _cmd_simulate(args, out) -> int:
     return 0
 
 
+def _make_engine(args):
+    from repro.experiments.context import engine_from_env
+
+    # Flags win; unset flags fall back to REPRO_JOBS / REPRO_CACHE_DIR.
+    return engine_from_env(jobs=args.jobs, cache_dir=args.cache_dir)
+
+
 def _cmd_run_experiment(args, out) -> int:
     import os
 
@@ -103,9 +138,37 @@ def _cmd_run_experiment(args, out) -> int:
     from repro.experiments import run_experiment
     from repro.experiments.context import ExperimentContext, Scale
 
-    ctx = ExperimentContext(Scale.from_env())
+    ctx = ExperimentContext(Scale.from_env(), engine=_make_engine(args))
     result = run_experiment(args.experiment_id, ctx)
     out.write(result.render() + "\n")
+    return 0
+
+
+def _cmd_sweep(args, out) -> int:
+    import time
+
+    from repro.dse.runner import SweepPlan, SweepRunner
+    from repro.dse.space import paper_design_space
+
+    engine = _make_engine(args)
+    plan = SweepPlan(space=paper_design_space(), n_train=args.n_train,
+                     n_test=args.n_test, seed=args.seed)
+    runner = SweepRunner(n_samples=args.samples, engine=engine)
+    start = time.perf_counter()
+    train, test = runner.run_train_test(args.benchmark, plan)
+    elapsed = time.perf_counter() - start
+    n_runs = train.n_configs + test.n_configs
+    workers = getattr(engine.executor, "max_workers", 1)
+    out.write(f"{args.benchmark}: {n_runs} simulations "
+              f"({train.n_configs} train + {test.n_configs} test, "
+              f"{args.samples} samples) in {elapsed:.2f}s "
+              f"[{workers} worker(s)]\n")
+    if engine.cache is not None:
+        out.write(f"cache: {engine.cache.stats.describe()}\n")
+    if args.out:
+        train.save(f"{args.out}.train.npz")
+        test.save(f"{args.out}.test.npz")
+        out.write(f"saved {args.out}.train.npz and {args.out}.test.npz\n")
     return 0
 
 
@@ -134,6 +197,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_simulate(args, out)
     if args.command == "run-experiment":
         return _cmd_run_experiment(args, out)
+    if args.command == "sweep":
+        return _cmd_sweep(args, out)
     if args.command == "simpoint":
         return _cmd_simpoint(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

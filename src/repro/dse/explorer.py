@@ -27,14 +27,91 @@ from repro.dse.space import DesignSpace
 from repro.errors import ExperimentError, ModelError
 from repro.uarch.params import MachineConfig
 
-#: Reduction functions applicable to a predicted trace.
-REDUCERS: Dict[str, Callable[[np.ndarray], float]] = {
-    "mean": lambda t: float(np.mean(t)),
-    "max": lambda t: float(np.max(t)),
-    "min": lambda t: float(np.min(t)),
-    "p95": lambda t: float(np.percentile(t, 95)),
-    "std": lambda t: float(np.std(t)),
+#: Reduction functions applicable to predicted traces.  Each reducer is
+#: vectorized: it accepts either one trace (1-D) or a stacked trace
+#: matrix (2-D, one row per configuration) and reduces along ``axis``
+#: (default: the sample axis), so the explorer scores thousands of
+#: candidate configurations in a handful of numpy calls.
+REDUCERS: Dict[str, Callable[..., np.ndarray]] = {
+    "mean": lambda t, axis=-1: np.mean(t, axis=axis),
+    "max": lambda t, axis=-1: np.max(t, axis=axis),
+    "min": lambda t, axis=-1: np.min(t, axis=axis),
+    "p95": lambda t, axis=-1: np.percentile(t, 95, axis=axis),
+    "p99": lambda t, axis=-1: np.percentile(t, 99, axis=axis),
+    "std": lambda t, axis=-1: np.std(t, axis=axis),
+    "amax_abs": lambda t, axis=-1: np.max(np.abs(t), axis=axis),
 }
+
+
+def register_reducer(name: str, fn: Callable[..., np.ndarray],
+                     overwrite: bool = False) -> None:
+    """Register a custom trace reducer for scenario criteria.
+
+    The reducer must have signature ``fn(traces, axis=-1)`` and reduce a
+    trace array along ``axis`` (like ``np.mean``), so constraints and
+    objectives built on it stay fully vectorized.  It is probed once at
+    registration with a small matrix; malformed reducers are rejected
+    with :class:`~repro.errors.ModelError`.
+
+    Parameters
+    ----------
+    name:
+        Reducer name as referenced by :class:`Constraint` /
+        :class:`Objective` (a valid identifier).
+    fn:
+        The reduction callable.
+    overwrite:
+        Allow replacing an existing reducer (off by default so built-ins
+        are not shadowed by accident).
+    """
+    if not isinstance(name, str) or not name.isidentifier():
+        raise ModelError(
+            f"reducer name must be a valid identifier string, got {name!r}"
+        )
+    if name in REDUCERS and not overwrite:
+        raise ModelError(
+            f"reducer {name!r} already registered; pass overwrite=True to "
+            f"replace it"
+        )
+    if not callable(fn):
+        raise ModelError(f"reducer {name!r} must be callable, got {fn!r}")
+    # Strictly positive probe: reducers like harmonic means are valid on
+    # real traces (the simulators clamp them positive) but undefined at 0.
+    probe = np.arange(1.0, 9.0).reshape(2, 4)
+    try:
+        reduced = np.asarray(fn(probe, axis=-1), dtype=float)
+    except Exception as exc:
+        raise ModelError(
+            f"reducer {name!r} failed its probe call fn(traces, axis=-1): "
+            f"{exc}"
+        ) from exc
+    if reduced.shape != (2,) or not np.all(np.isfinite(reduced)):
+        raise ModelError(
+            f"reducer {name!r} must map a (n, samples) matrix to a finite "
+            f"length-n vector along axis=-1, got shape {reduced.shape}"
+        )
+    REDUCERS[name] = fn
+
+
+#: Names that :func:`unregister_reducer` refuses to remove (built-ins an
+#: existing Constraint/Objective may rely on); overwritten built-ins can
+#: still be restored via ``register_reducer(name, fn, overwrite=True)``.
+_BUILTIN_REDUCERS = frozenset(REDUCERS)
+
+
+def unregister_reducer(name: str) -> None:
+    """Remove a custom reducer registered via :func:`register_reducer`."""
+    if name in _BUILTIN_REDUCERS:
+        raise ModelError(f"cannot unregister built-in reducer {name!r}")
+    if name not in REDUCERS:
+        raise ModelError(f"reducer {name!r} is not registered")
+    del REDUCERS[name]
+
+
+def _reduce(name: str, traces: np.ndarray) -> np.ndarray:
+    """Apply a named reducer along the sample axis."""
+    return np.asarray(REDUCERS[name](np.asarray(traces, dtype=float),
+                                     axis=-1), dtype=float)
 
 
 @dataclass(frozen=True)
@@ -62,12 +139,17 @@ class Constraint:
             raise ModelError(f"op must be '<=' or '>=', got {self.op!r}")
 
     def satisfied(self, trace: np.ndarray) -> bool:
-        value = REDUCERS[self.reducer](trace)
+        value = float(_reduce(self.reducer, trace))
         return value <= self.bound if self.op == "<=" else value >= self.bound
+
+    def satisfied_many(self, traces: np.ndarray) -> np.ndarray:
+        """Vectorized feasibility over a stacked ``(n, samples)`` matrix."""
+        values = _reduce(self.reducer, traces)
+        return values <= self.bound if self.op == "<=" else values >= self.bound
 
     def margin(self, trace: np.ndarray) -> float:
         """Positive slack when satisfied, negative when violated."""
-        value = REDUCERS[self.reducer](trace)
+        value = float(_reduce(self.reducer, trace))
         return self.bound - value if self.op == "<=" else value - self.bound
 
     def describe(self) -> str:
@@ -91,8 +173,12 @@ class Objective:
 
     def score(self, trace: np.ndarray) -> float:
         """Score where *lower is always better* (sign-folded)."""
-        value = REDUCERS[self.reducer](trace)
-        return -value if self.maximize else value
+        return float(self.score_many(trace))
+
+    def score_many(self, traces: np.ndarray) -> np.ndarray:
+        """Vectorized scores over a stacked ``(n, samples)`` matrix."""
+        values = _reduce(self.reducer, traces)
+        return -values if self.maximize else values
 
     def describe(self) -> str:
         verb = "maximize" if self.maximize else "minimize"
@@ -187,23 +273,32 @@ class PredictiveExplorer:
         """
         if candidates is None:
             candidates = self.candidate_grid(limit=limit, seed=seed)
+        candidates = list(candidates)
         domains = {objective.domain} | {c.domain for c in constraints}
+        # One stacked predict() per domain, then pure-numpy scoring: no
+        # per-configuration Python work anywhere on this path.
         traces = self.predict_traces(candidates, domains)
 
-        scored: List[Tuple[MachineConfig, float]] = []
-        n_feasible = 0
-        for i, cfg in enumerate(candidates):
-            if all(c.satisfied(traces[c.domain][i]) for c in constraints):
-                n_feasible += 1
-                scored.append((cfg, objective.score(traces[objective.domain][i])))
-        scored.sort(key=lambda pair: pair[1])
-        best_config, best_score = (scored[0] if scored else (None, float("inf")))
+        feasible = np.ones(len(candidates), dtype=bool)
+        for c in constraints:
+            feasible &= c.satisfied_many(traces[c.domain])
+        scores = objective.score_many(traces[objective.domain])
+
+        n_feasible = int(np.count_nonzero(feasible))
+        idx = np.flatnonzero(feasible)
+        order = idx[np.argsort(scores[idx], kind="stable")]
+        if order.size:
+            best_config = candidates[order[0]]
+            best_score = float(scores[order[0]])
+        else:
+            best_config, best_score = None, float("inf")
+        ranked = [(candidates[i], float(scores[i])) for i in order[:top_k]]
         return ExplorationResult(
             best_config=best_config,
             best_score=best_score,
             n_evaluated=len(candidates),
             n_feasible=n_feasible,
-            ranked=scored[:top_k],
+            ranked=ranked,
         )
 
     def sensitivity(self, base: MachineConfig, parameter: str,
@@ -222,5 +317,6 @@ class PredictiveExplorer:
             values[parameter] = level
             configs.append(self.space.config_from_values(values))
         traces = self.predict_traces(configs, [domain])[domain]
-        return [(float(level), REDUCERS[reducer](trace))
-                for level, trace in zip(p.train_levels, traces)]
+        values = _reduce(reducer, traces)
+        return [(float(level), float(value))
+                for level, value in zip(p.train_levels, values)]

@@ -3,25 +3,32 @@
 :class:`SweepRunner` reproduces the paper's data-collection step: run the
 simulator over every (benchmark, configuration) pair and collect the
 per-interval CPI / power / AVF traces into
-:class:`~repro.dse.dataset.DynamicsDataset` objects.  With the interval
-backend a full paper-scale sweep (12 benchmarks x 250 configurations)
-takes a few seconds.
+:class:`~repro.dse.dataset.DynamicsDataset` objects.
+
+All simulation goes through the execution engine
+(:mod:`repro.engine`): each sweep becomes one job batch, so the same
+code path transparently gains process-pool parallelism
+(``SweepRunner(engine=create_engine(jobs=8))``) and on-disk result
+caching (``create_engine(cache_dir=...)``).  Because every job is
+deterministic, the parallel and sequential paths produce bit-identical
+datasets.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.dse.dataset import DynamicsDataset
 from repro.dse.lhs import sample_test_configs, sample_train_configs
 from repro.dse.space import DesignSpace, paper_design_space
+from repro.engine.executor import ExecutionEngine
+from repro.engine.jobs import SimJob
 from repro.uarch.params import MachineConfig
-from repro.uarch.simulator import DOMAINS, Simulator
+from repro.uarch.simulator import DOMAINS, SimulationResult, Simulator
 from repro.workloads.phases import WorkloadModel
-from repro.workloads.spec2000 import get_benchmark
 
 
 @dataclass(frozen=True)
@@ -43,50 +50,108 @@ class SweepPlan:
         return train, test
 
 
+def _benchmark_name(workload: Union[str, WorkloadModel]) -> str:
+    """Canonical benchmark name (resolves registry aliases)."""
+    if isinstance(workload, WorkloadModel):
+        return workload.name
+    from repro.workloads.spec2000 import get_benchmark
+
+    return get_benchmark(workload).name
+
+
 class SweepRunner:
     """Runs simulation sweeps and assembles datasets.
 
     Parameters
     ----------
     simulator:
-        Backend to use; defaults to the interval model with noise.
+        Backend settings to stamp onto each job; defaults to the
+        interval model with noise.
     domains:
         Metric domains to record (default: cpi, power, avf, iq_avf).
     n_samples:
         Trace resolution (the paper's default is 128).
+    engine:
+        Execution engine for the job batches; defaults to a fresh
+        in-process engine.  Pass
+        ``repro.engine.create_engine(jobs=..., cache_dir=...)`` for
+        parallel and/or cached sweeps.
     """
 
     def __init__(self, simulator: Optional[Simulator] = None,
                  domains: Sequence[str] = DOMAINS,
-                 n_samples: int = 128):
+                 n_samples: int = 128,
+                 engine: Optional[ExecutionEngine] = None):
         self.simulator = simulator or Simulator()
         self.domains = tuple(domains)
         self.n_samples = n_samples
+        self.engine = engine or ExecutionEngine()
 
+    # ------------------------------------------------------------------
+    def jobs_for(self, workload: Union[str, WorkloadModel],
+                 configs: Sequence[MachineConfig]) -> List[SimJob]:
+        """The job batch one :meth:`run_configs` call would submit."""
+        return self.simulator.jobs(workload, configs,
+                                   n_samples=self.n_samples)
+
+    def _assemble(self, benchmark: str, configs: Sequence[MachineConfig],
+                  results: Sequence[SimulationResult],
+                  space: DesignSpace) -> DynamicsDataset:
+        traces = {
+            d: (np.vstack([result.trace(d) for result in results])
+                if results else np.empty((0, self.n_samples)))
+            for d in self.domains
+        }
+        return DynamicsDataset(
+            benchmark=benchmark, space=space,
+            configs=list(configs), traces=traces,
+        )
+
+    # ------------------------------------------------------------------
     def run_configs(self, workload: Union[str, WorkloadModel],
                     configs: Sequence[MachineConfig],
                     space: Optional[DesignSpace] = None) -> DynamicsDataset:
         """Simulate one benchmark over a list of configurations."""
-        if isinstance(workload, str):
-            workload = get_benchmark(workload)
         space = space or paper_design_space()
-        rows: Dict[str, list] = {d: [] for d in self.domains}
-        for config in configs:
-            result = self.simulator.run(workload, config, self.n_samples)
-            for d in self.domains:
-                rows[d].append(result.trace(d))
-        traces = {d: np.vstack(vals) for d, vals in rows.items()}
-        return DynamicsDataset(
-            benchmark=workload.name, space=space,
-            configs=list(configs), traces=traces,
-        )
+        jobs = self.jobs_for(workload, configs)
+        results = self.engine.run(jobs)
+        return self._assemble(_benchmark_name(workload), configs, results,
+                              space)
 
     def run_train_test(self, workload: Union[str, WorkloadModel],
                        plan: Optional[SweepPlan] = None,
                        ) -> Tuple[DynamicsDataset, DynamicsDataset]:
-        """The paper's 200-train / 50-test data collection for one benchmark."""
+        """The paper's 200-train / 50-test data collection for one benchmark.
+
+        Train and test configurations are submitted as **one** job batch
+        so a parallel engine keeps every worker busy across the split
+        boundary.
+        """
         plan = plan or SweepPlan(space=paper_design_space())
         train_cfgs, test_cfgs = plan.sample()
-        train = self.run_configs(workload, train_cfgs, plan.space)
-        test = self.run_configs(workload, test_cfgs, plan.space)
-        return train, test
+        datasets = self.run_many(workload, [train_cfgs, test_cfgs], plan.space)
+        return datasets[0], datasets[1]
+
+    def run_many(self, workload: Union[str, WorkloadModel],
+                 config_groups: Sequence[Sequence[MachineConfig]],
+                 space: Optional[DesignSpace] = None,
+                 ) -> List[DynamicsDataset]:
+        """Simulate several configuration groups as a single job batch.
+
+        Returns one dataset per group, in group order.  Submitting all
+        groups at once maximizes executor utilization and lets the cache
+        deduplicate configurations shared between groups.
+        """
+        space = space or paper_design_space()
+        flat: List[MachineConfig] = [c for group in config_groups
+                                     for c in group]
+        jobs = self.jobs_for(workload, flat)
+        results = self.engine.run(jobs)
+        benchmark = _benchmark_name(workload)
+        datasets = []
+        offset = 0
+        for group in config_groups:
+            chunk = results[offset:offset + len(group)]
+            datasets.append(self._assemble(benchmark, group, chunk, space))
+            offset += len(group)
+        return datasets

@@ -1,0 +1,47 @@
+"""Batched, parallel, cache-aware simulation execution.
+
+The engine is the single execution path every layer above the simulator
+goes through:
+
+* :class:`~repro.engine.jobs.SimJob` — a content-addressed unit of work
+  (benchmark, configuration, backend, options) with a process-stable
+  hash key;
+* :class:`~repro.engine.executor.LocalExecutor` /
+  :class:`~repro.engine.executor.ParallelExecutor` — in-process and
+  process-pool batch execution behind one
+  :class:`~repro.engine.executor.Executor` protocol, with deterministic
+  result ordering;
+* :class:`~repro.engine.cache.ResultCache` — npz-per-job disk tier plus
+  an in-memory LRU front, keyed by job content hash;
+* :class:`~repro.engine.executor.ExecutionEngine` — composes the two:
+  batch cache lookups, in-batch deduplication, miss execution.
+
+Typical use::
+
+    from repro.engine import SimJob, create_engine
+
+    engine = create_engine(jobs=8, cache_dir="~/.cache/repro")
+    results = engine.run([SimJob("gcc", cfg) for cfg in configs])
+"""
+
+from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.executor import (
+    ExecutionEngine,
+    Executor,
+    LocalExecutor,
+    ParallelExecutor,
+    create_engine,
+)
+from repro.engine.jobs import SimJob, make_jobs
+
+__all__ = [
+    "SimJob",
+    "make_jobs",
+    "Executor",
+    "LocalExecutor",
+    "ParallelExecutor",
+    "ExecutionEngine",
+    "ResultCache",
+    "CacheStats",
+    "create_engine",
+]

@@ -1,0 +1,213 @@
+"""Result cache: npz-per-job on disk with an in-memory LRU front.
+
+Repeated experiment and figure runs re-simulate the exact same
+(benchmark, configuration) grid; with a :class:`ResultCache` attached to
+the engine every repeat becomes a lookup.  Entries are named by the
+job's content-hash key (:meth:`repro.engine.jobs.SimJob.key`), so a
+cache directory can be shared between processes, machines, and sweeps —
+anything with the same key is by construction the same simulation.
+
+Disk writes are atomic (tmp file + ``os.replace``) so a crashed or
+interrupted sweep never leaves a truncated entry behind; unreadable
+entries are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import EngineError
+from repro.engine.jobs import SimJob
+from repro.uarch.params import MachineConfig
+from repro.uarch.simulator import SimulationResult
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one :class:`ResultCache` instance."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        return (f"{self.hits}/{self.lookups} hits "
+                f"({self.memory_hits} memory, {self.disk_hits} disk), "
+                f"{self.stores} stores")
+
+
+def _config_arrays(config: MachineConfig):
+    """(field names, float values, bool mask) for npz round-tripping."""
+    names, values, bools = [], [], []
+    for f in dataclasses.fields(config):
+        value = getattr(config, f.name)
+        names.append(f.name)
+        values.append(float(value))
+        bools.append(isinstance(value, bool))
+    return (np.array(names), np.array(values, dtype=float),
+            np.array(bools, dtype=bool))
+
+
+def _config_from_arrays(names, values, bools) -> MachineConfig:
+    field_types = {f.name: f.type for f in dataclasses.fields(MachineConfig)}
+    kwargs = {}
+    for name, value, is_bool in zip(names, values, bools):
+        name = str(name)
+        if name not in field_types:
+            continue  # forward compatibility: ignore unknown fields
+        if is_bool:
+            kwargs[name] = bool(value)
+        elif field_types[name] in ("int", int):
+            kwargs[name] = int(value)
+        else:
+            kwargs[name] = float(value)
+    return MachineConfig(**kwargs)
+
+
+class ResultCache:
+    """Two-level (memory LRU + optional disk) simulation-result cache.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the on-disk npz tier; ``None`` keeps the cache
+        purely in-memory.  Created on first store.
+    memory_items:
+        Capacity of the in-memory LRU front (0 disables it).
+    """
+
+    def __init__(self, cache_dir=None, memory_items: int = 512):
+        if memory_items < 0:
+            raise EngineError(
+                f"memory_items must be >= 0, got {memory_items}"
+            )
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.memory_items = memory_items
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, SimulationResult]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.npz"
+
+    def _remember(self, key: str, result: SimulationResult) -> None:
+        if self.memory_items == 0:
+            return
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_items:
+            self._memory.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def get(self, job: SimJob) -> Optional[SimulationResult]:
+        """The cached result for ``job``, or ``None`` on a miss."""
+        key = job.key()
+        if key in self._memory:
+            self.stats.memory_hits += 1
+            self._memory.move_to_end(key)
+            return self._memory[key]
+        if self.cache_dir is not None:
+            path = self._path(key)
+            if path.exists():
+                try:
+                    result = self._load(path)
+                except Exception:
+                    result = None  # corrupt entry: treat as miss
+                if result is not None:
+                    self.stats.disk_hits += 1
+                    self._remember(key, result)
+                    return result
+        self.stats.misses += 1
+        return None
+
+    def put(self, job: SimJob, result: SimulationResult) -> None:
+        """Store ``result`` under ``job``'s key in every enabled tier."""
+        key = job.key()
+        self._remember(key, result)
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            self._dump(self._path(key), result)
+        self.stats.stores += 1
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory tier (the disk tier survives)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        """Number of entries in the disk tier (memory-only: LRU size)."""
+        if self.cache_dir is None:
+            return len(self._memory)
+        if not self.cache_dir.exists():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*.npz"))
+
+    # ------------------------------------------------------------------
+    # npz serialization
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _dump(path: Path, result: SimulationResult) -> None:
+        names, values, bools = _config_arrays(result.config)
+        payload = {
+            "benchmark": np.array(result.benchmark),
+            "backend": np.array(result.backend),
+            "n_samples": np.array(result.n_samples),
+            "cfg_names": names,
+            "cfg_values": values,
+            "cfg_bools": bools,
+        }
+        payload.update({f"trace_{d}": arr for d, arr in result.traces.items()})
+        payload.update(
+            {f"comp_{d}": arr for d, arr in result.components.items()}
+        )
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                                   prefix=path.stem, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                # Uncompressed: per-job trace payloads are a few KB, and
+                # load latency is what the disk tier is judged on.
+                np.savez(handle, **payload)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    @staticmethod
+    def _load(path: Path) -> SimulationResult:
+        with np.load(path, allow_pickle=False) as data:
+            config = _config_from_arrays(
+                data["cfg_names"], data["cfg_values"], data["cfg_bools"]
+            )
+            traces = {key[len("trace_"):]: data[key]
+                      for key in data.files if key.startswith("trace_")}
+            components = {key[len("comp_"):]: data[key]
+                          for key in data.files if key.startswith("comp_")}
+            return SimulationResult(
+                benchmark=str(data["benchmark"]),
+                config=config,
+                n_samples=int(data["n_samples"]),
+                backend=str(data["backend"]),
+                traces=traces,
+                components=components,
+            )

@@ -1,0 +1,216 @@
+"""Executors: run job batches in-process or across worker processes.
+
+Every executor implements one method — ``run_batch(jobs)`` — and returns
+results **in job order**, regardless of completion order.  Because each
+:class:`~repro.engine.jobs.SimJob` is deterministic (the interval model
+seeds its measurement texture from the job content itself), the parallel
+and sequential paths produce bit-identical traces; ``tests/test_engine.py``
+pins that property.
+
+:class:`ExecutionEngine` composes an executor with an optional
+:class:`~repro.engine.cache.ResultCache`: batch lookups first, duplicate
+jobs deduplicated by content key, only the misses dispatched.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Protocol, Sequence
+
+from repro.errors import EngineError
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import SimJob
+from repro.uarch.simulator import SimulationResult
+
+
+class Executor(Protocol):
+    """Anything that can run a batch of simulation jobs in order."""
+
+    def run_batch(self, jobs: Sequence[SimJob]) -> List[SimulationResult]:
+        """Run every job; results align index-for-index with ``jobs``."""
+        ...
+
+
+def _run_chunk(jobs: Sequence[SimJob]) -> List[SimulationResult]:
+    """Worker entry point (module-level so it pickles)."""
+    return [job.run() for job in jobs]
+
+
+class LocalExecutor:
+    """Runs jobs sequentially in the current process."""
+
+    def run_batch(self, jobs: Sequence[SimJob]) -> List[SimulationResult]:
+        return _run_chunk(jobs)
+
+
+class ParallelExecutor:
+    """Fans job batches out over a process pool.
+
+    Jobs are grouped into contiguous chunks (amortizing pickle and IPC
+    overhead over many sub-millisecond interval simulations), submitted
+    to a :class:`~concurrent.futures.ProcessPoolExecutor`, and stitched
+    back together by chunk index — so the output order never depends on
+    scheduling.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes; defaults to the machine's CPU count.
+    chunk_size:
+        Jobs per submitted chunk; by default sized so each worker gets
+        about four chunks (load balancing without excessive IPC).
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 chunk_size: Optional[int] = None):
+        if max_workers is not None and max_workers < 1:
+            raise EngineError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        if chunk_size is not None and chunk_size < 1:
+            raise EngineError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.chunk_size = chunk_size
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        # Lazily created and reused across run_batch calls: an engine
+        # shared by a whole experiment session pays worker start-up once,
+        # not once per benchmark batch.
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (a later run_batch restarts it)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _chunks(self, jobs: Sequence[SimJob]) -> List[Sequence[SimJob]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(jobs) // (self.max_workers * 4)))
+        return [jobs[i:i + size] for i in range(0, len(jobs), size)]
+
+    def run_batch(self, jobs: Sequence[SimJob]) -> List[SimulationResult]:
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        if self.max_workers == 1 or len(jobs) == 1:
+            return _run_chunk(jobs)
+        chunks = self._chunks(jobs)
+        ordered: List[Optional[List[SimulationResult]]] = [None] * len(chunks)
+        pool = self._get_pool()
+        try:
+            futures = {pool.submit(_run_chunk, chunk): i
+                       for i, chunk in enumerate(chunks)}
+            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+            for future in not_done:
+                future.cancel()
+            for future in done:
+                ordered[futures[future]] = future.result()  # re-raises
+        except BrokenProcessPool:
+            self.close()  # a dead pool cannot serve the next batch
+            raise
+        return [result for chunk in ordered for result in chunk]
+
+
+class ExecutionEngine:
+    """Cache-aware batch runner: the front door for every sweep.
+
+    ``run(jobs)`` resolves each job from the cache when possible,
+    deduplicates identical jobs inside the batch by content key, runs
+    only the remaining unique misses through the executor, and returns
+    results in job order.
+
+    Parameters
+    ----------
+    executor:
+        Where misses execute; defaults to :class:`LocalExecutor`.
+    cache:
+        Optional :class:`~repro.engine.cache.ResultCache`.
+    """
+
+    def __init__(self, executor: Optional[Executor] = None,
+                 cache: Optional[ResultCache] = None):
+        self.executor = executor or LocalExecutor()
+        self.cache = cache
+
+    def run(self, jobs: Sequence[SimJob]) -> List[SimulationResult]:
+        jobs = list(jobs)
+        results: List[Optional[SimulationResult]] = [None] * len(jobs)
+
+        # Resolve cache hits and collapse duplicates to one execution.
+        pending: Dict[str, List[int]] = {}
+        unique_jobs: List[SimJob] = []
+        for i, job in enumerate(jobs):
+            key = job.key()
+            if key in pending:
+                pending[key].append(i)
+                continue
+            cached = self.cache.get(job) if self.cache is not None else None
+            if cached is not None:
+                results[i] = cached
+            else:
+                pending[key] = [i]
+                unique_jobs.append(job)
+
+        if unique_jobs:
+            fresh = self.executor.run_batch(unique_jobs)
+            for job, result in zip(unique_jobs, fresh):
+                if self.cache is not None:
+                    self.cache.put(job, result)
+                for i in pending[job.key()]:
+                    results[i] = result
+        return results  # type: ignore[return-value]
+
+    def run_one(self, job: SimJob) -> SimulationResult:
+        """Convenience wrapper for a single job."""
+        return self.run([job])[0]
+
+
+def create_engine(jobs: Optional[int] = None,
+                  cache_dir=None,
+                  memory_items: int = 512) -> ExecutionEngine:
+    """Build an engine from the two user-facing knobs.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` or 1 selects the in-process
+        :class:`LocalExecutor`, anything larger a
+        :class:`ParallelExecutor`.
+    cache_dir:
+        On-disk cache directory (``None`` disables the disk tier but
+        keeps an in-memory LRU when ``memory_items > 0``).
+    memory_items:
+        In-memory LRU capacity.
+    """
+    if jobs is not None and jobs < 1:
+        raise EngineError(f"jobs must be >= 1, got {jobs}")
+    executor: Executor
+    if jobs is not None and jobs > 1:
+        executor = ParallelExecutor(max_workers=jobs)
+    else:
+        executor = LocalExecutor()
+    cache = None
+    if cache_dir is not None or memory_items > 0:
+        cache = ResultCache(cache_dir=cache_dir, memory_items=memory_items)
+    return ExecutionEngine(executor=executor, cache=cache)

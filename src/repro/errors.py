@@ -41,5 +41,9 @@ class SimulationError(ReproError):
     """The simulator reached an inconsistent state."""
 
 
+class EngineError(ReproError):
+    """The execution engine was mis-configured or fed malformed jobs."""
+
+
 class ExperimentError(ReproError):
     """An experiment driver was asked for an unknown experiment or option."""

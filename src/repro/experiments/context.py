@@ -30,6 +30,7 @@ from repro.core.predictor import WaveletNeuralPredictor
 from repro.dse.dataset import DynamicsDataset
 from repro.dse.runner import SweepPlan, SweepRunner
 from repro.dse.space import DesignSpace, paper_design_space
+from repro.engine import ExecutionEngine, create_engine
 from repro.errors import ExperimentError
 from repro.workloads.spec2000 import BENCHMARK_NAMES
 
@@ -79,11 +80,46 @@ class Scale:
         )
 
 
-class ExperimentContext:
-    """Lazily-built, cached datasets and models for all experiments."""
+def engine_from_env(jobs: Optional[int] = None,
+                    cache_dir=None) -> ExecutionEngine:
+    """Build an engine from environment knobs, with optional overrides.
 
-    def __init__(self, scale: Optional[Scale] = None):
+    ``REPRO_JOBS`` selects the worker-process count (parallel sweep
+    execution when > 1) and ``REPRO_CACHE_DIR`` enables the on-disk
+    result cache.  Explicit ``jobs`` / ``cache_dir`` arguments (the
+    CLI's ``--jobs`` / ``--cache-dir`` flags) take precedence over the
+    environment.
+    """
+    if jobs is None:
+        jobs_env = os.environ.get("REPRO_JOBS", "").strip()
+        try:
+            jobs = int(jobs_env) if jobs_env else None
+        except ValueError:
+            raise ExperimentError(
+                f"REPRO_JOBS must be an integer, got {jobs_env!r}"
+            )
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip() or None
+    return create_engine(jobs=jobs, cache_dir=cache_dir)
+
+
+class ExperimentContext:
+    """Lazily-built, cached datasets and models for all experiments.
+
+    Parameters
+    ----------
+    scale:
+        Scope knobs; defaults to the ``REPRO_SCALE`` environment.
+    engine:
+        Execution engine shared by every sweep this context runs;
+        defaults to :func:`engine_from_env` (``REPRO_JOBS`` /
+        ``REPRO_CACHE_DIR``).
+    """
+
+    def __init__(self, scale: Optional[Scale] = None,
+                 engine: Optional[ExecutionEngine] = None):
         self.scale = scale or Scale.from_env()
+        self.engine = engine or engine_from_env()
         self.space = paper_design_space()
         self.dvm_space = self.space.with_dvm_parameter()
         self._datasets: Dict[Tuple, Tuple[DynamicsDataset, DynamicsDataset]] = {}
@@ -107,7 +143,7 @@ class ExperimentContext:
             space = self.dvm_space if dvm else self.space
             plan = SweepPlan(space=space, n_train=self.scale.n_train,
                              n_test=self.scale.n_test, seed=self.scale.seed)
-            runner = SweepRunner(n_samples=n_samples)
+            runner = SweepRunner(n_samples=n_samples, engine=self.engine)
             train_cfgs, test_cfgs = plan.sample()
             if dvm:
                 train_cfgs = [
@@ -116,8 +152,11 @@ class ExperimentContext:
                 test_cfgs = [
                     c.with_dvm(c.dvm_enabled, dvm_threshold) for c in test_cfgs
                 ]
-            train = runner.run_configs(benchmark, train_cfgs, space)
-            test = runner.run_configs(benchmark, test_cfgs, space)
+            # One batched submission covering both splits: a parallel
+            # engine stays saturated across the train/test boundary.
+            train, test = runner.run_many(
+                benchmark, [train_cfgs, test_cfgs], space
+            )
             self._datasets[key] = (train, test)
         return self._datasets[key]
 

@@ -15,7 +15,7 @@ CPI / power / AVF / IQ-AVF traces the predictive models consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -43,9 +43,16 @@ class SimulationResult:
     components: Dict[str, np.ndarray] = field(default_factory=dict)
 
     def trace(self, domain: str) -> np.ndarray:
-        """The dynamics trace for one domain ("cpi", "power", ...)."""
+        """The dynamics trace for one domain ("cpi", "power", ...).
+
+        The derived ``"ipc"`` domain is inf-free: a zero-CPI interval
+        (possible in artificial traces) maps to 0 IPC instead of
+        overflowing to infinity.
+        """
         if domain == "ipc":
-            return 1.0 / self.traces["cpi"]
+            cpi = self.traces["cpi"]
+            return np.divide(1.0, cpi, out=np.zeros_like(cpi, dtype=float),
+                             where=cpi != 0)
         if domain not in self.traces:
             raise SimulationError(
                 f"unknown domain {domain!r}; have {sorted(self.traces)}"
@@ -123,3 +130,45 @@ class Simulator:
         detailed = DetailedSimulator(config)
         return detailed.run(workload, n_samples=n_samples,
                             instructions_per_sample=instructions_per_sample)
+
+    # ------------------------------------------------------------------
+    def jobs(self, workload: Union[str, WorkloadModel],
+             configs: Sequence[MachineConfig],
+             n_samples: int = 128,
+             instructions_per_sample: int = 1000) -> List["SimJob"]:
+        """Build engine jobs carrying this simulator's backend settings.
+
+        Returns one :class:`~repro.engine.jobs.SimJob` per configuration.
+        """
+        from repro.engine.jobs import make_jobs
+
+        return make_jobs(workload, configs, backend=self.backend,
+                         n_samples=n_samples,
+                         instructions_per_sample=instructions_per_sample,
+                         noise=self.noise)
+
+    def run_batch(self, jobs: Sequence["SimJob"],
+                  executor=None) -> List[SimulationResult]:
+        """Run a batch of engine jobs *under this simulator's settings*.
+
+        Each job is re-stamped with this simulator's backend and noise
+        options (so ``Simulator(backend="detailed").run_batch(jobs)``
+        really runs the detailed model), then executed in job order.
+
+        Parameters
+        ----------
+        jobs:
+            :class:`~repro.engine.jobs.SimJob` sequence; see
+            :meth:`jobs` to build one from configuration lists.
+        executor:
+            An :class:`~repro.engine.executor.Executor`; defaults to the
+            in-process :class:`~repro.engine.executor.LocalExecutor`.
+        """
+        from dataclasses import replace
+
+        from repro.engine.executor import LocalExecutor
+
+        stamped = [replace(job, backend=self.backend, noise=self.noise)
+                   for job in jobs]
+        executor = executor or LocalExecutor()
+        return executor.run_batch(stamped)

@@ -146,3 +146,55 @@ class TestSensitivity:
         with pytest.raises(ModelError):
             explorer.sensitivity(repro.baseline_config(), "l2_size_kb",
                                  "cpi", reducer="harmonic")
+
+
+class TestReducers:
+    def test_p99_and_amax_abs_builtin(self):
+        from repro.dse.explorer import REDUCERS
+        trace = np.concatenate([np.zeros(99), [-5.0]])
+        assert float(REDUCERS["p99"](np.arange(101.0))) == pytest.approx(99.0)
+        assert float(REDUCERS["amax_abs"](trace)) == pytest.approx(5.0)
+        c = Constraint("power", "p99", "<=", 10.0)
+        assert c.satisfied(np.full(100, 5.0))
+        assert Objective("avf", "amax_abs").score(trace) == pytest.approx(5.0)
+
+    def test_reducers_vectorized_over_matrix(self):
+        from repro.dse.explorer import REDUCERS
+        traces = np.arange(12.0).reshape(3, 4)
+        for name, fn in REDUCERS.items():
+            reduced = np.asarray(fn(traces, axis=-1))
+            assert reduced.shape == (3,), name
+
+    def test_register_reducer_roundtrip(self):
+        from repro.dse.explorer import (REDUCERS, register_reducer,
+                                        unregister_reducer)
+        register_reducer("p10", lambda t, axis=-1: np.percentile(t, 10, axis=axis))
+        try:
+            assert "p10" in REDUCERS
+            c = Constraint("cpi", "p10", ">=", 0.0)
+            assert c.satisfied(np.ones(8))
+        finally:
+            unregister_reducer("p10")
+        assert "p10" not in REDUCERS
+
+    def test_register_reducer_validation(self):
+        from repro.dse.explorer import register_reducer, unregister_reducer
+        with pytest.raises(ModelError):
+            register_reducer("not an identifier", lambda t, axis=-1: t.mean(axis))
+        with pytest.raises(ModelError):
+            register_reducer("mean", lambda t, axis=-1: t.mean(axis))  # no overwrite
+        with pytest.raises(ModelError):
+            register_reducer("broken", "not-callable")
+        with pytest.raises(ModelError):
+            register_reducer("raises", lambda t, axis=-1: 1 / 0)
+        with pytest.raises(ModelError):
+            register_reducer("wrong_shape", lambda t, axis=-1: t)
+        with pytest.raises(ModelError):
+            unregister_reducer("never_registered")
+
+    def test_register_reducer_overwrite_allowed(self):
+        from repro.dse.explorer import REDUCERS, register_reducer
+        original = REDUCERS["p95"]
+        register_reducer("p95", lambda t, axis=-1: np.percentile(t, 95, axis=axis),
+                         overwrite=True)
+        REDUCERS["p95"] = original
