@@ -14,13 +14,18 @@ Commands
 ``sweep``
     Run a train/test design-space sweep through the execution engine
     (optionally parallel and cached) and report timing.
+``cache``
+    Inspect (``stats``), garbage-collect (``gc``) or empty (``clear``)
+    the on-disk simulation result cache.
 ``simpoint``
     Representative-interval selection for a benchmark.
 
-The ``--jobs N`` / ``--cache-dir DIR`` flags (on ``run-experiment`` and
-``sweep``) select the execution engine's worker-process count and
-on-disk result cache; they map to the ``REPRO_JOBS`` / ``REPRO_CACHE_DIR``
-environment variables honoured by the library.
+The ``--jobs N`` / ``--cache-dir DIR`` / ``--cache-max-bytes N`` flags
+(on ``run-experiment`` and ``sweep``) select the execution engine's
+worker-process count and on-disk result cache; they map to the
+``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` / ``REPRO_CACHE_MAX_BYTES``
+environment variables honoured by the library.  ``--progress`` prints a
+running jobs-done / cache-hit count while long sweeps execute.
 """
 
 from __future__ import annotations
@@ -71,6 +76,23 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="save datasets to PREFIX.train.npz / PREFIX.test.npz")
     _add_engine_arguments(sweep)
 
+    cache = sub.add_parser(
+        "cache", help="inspect / garbage-collect the result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry / byte counts for the cache directory")
+    cache_gc = cache_sub.add_parser(
+        "gc", help="drop stale-version entries and shrink to a byte target")
+    cache_gc.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                          help="evict oldest entries (by mtime) until the "
+                               "cache holds at most N bytes")
+    cache_clear = cache_sub.add_parser(
+        "clear", help="remove every cached simulation result")
+    for sub_parser in (cache_stats, cache_gc, cache_clear):
+        sub_parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                                help="cache directory (default: "
+                                     "REPRO_CACHE_DIR)")
+
     sp = sub.add_parser("simpoint", help="pick a representative interval")
     sp.add_argument("benchmark")
     sp.add_argument("--intervals", type=int, default=64)
@@ -83,6 +105,13 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                              "(default: in-process)")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="on-disk simulation result cache directory")
+    parser.add_argument("--cache-max-bytes", type=int, default=None,
+                        metavar="N",
+                        help="byte cap for the disk cache (mtime-LRU "
+                             "eviction)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print jobs-done / cache-hit progress during "
+                             "sweeps")
 
 
 def _cmd_list_benchmarks(out) -> int:
@@ -124,11 +153,30 @@ def _cmd_simulate(args, out) -> int:
     return 0
 
 
-def _make_engine(args):
+def _progress_printer(out, every: int = 25):
+    """An engine ``on_result`` callback printing periodic progress lines."""
+    state = {"done": 0, "hits": 0}
+
+    def on_result(index, job, result, from_cache):
+        state["done"] += 1
+        state["hits"] += int(from_cache)
+        if state["done"] % every == 0:
+            out.write(f"progress: {state['done']} jobs done "
+                      f"({state['hits']} cache hits)\n")
+
+    return on_result
+
+
+def _make_engine(args, out=None):
     from repro.experiments.context import engine_from_env
 
-    # Flags win; unset flags fall back to REPRO_JOBS / REPRO_CACHE_DIR.
-    return engine_from_env(jobs=args.jobs, cache_dir=args.cache_dir)
+    on_result = None
+    if getattr(args, "progress", False):
+        on_result = _progress_printer(out or sys.stdout)
+    # Flags win; unset flags fall back to the REPRO_* environment.
+    return engine_from_env(jobs=args.jobs, cache_dir=args.cache_dir,
+                           cache_max_bytes=args.cache_max_bytes,
+                           on_result=on_result)
 
 
 def _cmd_run_experiment(args, out) -> int:
@@ -138,7 +186,7 @@ def _cmd_run_experiment(args, out) -> int:
     from repro.experiments import run_experiment
     from repro.experiments.context import ExperimentContext, Scale
 
-    ctx = ExperimentContext(Scale.from_env(), engine=_make_engine(args))
+    ctx = ExperimentContext(Scale.from_env(), engine=_make_engine(args, out))
     result = run_experiment(args.experiment_id, ctx)
     out.write(result.render() + "\n")
     return 0
@@ -150,7 +198,7 @@ def _cmd_sweep(args, out) -> int:
     from repro.dse.runner import SweepPlan, SweepRunner
     from repro.dse.space import paper_design_space
 
-    engine = _make_engine(args)
+    engine = _make_engine(args, out)
     plan = SweepPlan(space=paper_design_space(), n_train=args.n_train,
                      n_test=args.n_test, seed=args.seed)
     runner = SweepRunner(n_samples=args.samples, engine=engine)
@@ -170,6 +218,53 @@ def _cmd_sweep(args, out) -> int:
         test.save(f"{args.out}.test.npz")
         out.write(f"saved {args.out}.train.npz and {args.out}.test.npz\n")
     return 0
+
+
+def _human_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def _cmd_cache(args, out) -> int:
+    import os
+
+    from repro.engine import ResultCache
+    from repro.errors import EngineError
+
+    cache_dir = args.cache_dir or os.environ.get(
+        "REPRO_CACHE_DIR", "").strip() or None
+    if cache_dir is None:
+        raise EngineError(
+            "no cache directory: pass --cache-dir or set REPRO_CACHE_DIR"
+        )
+    cache = ResultCache(cache_dir=cache_dir, memory_items=0)
+    if args.cache_command == "stats":
+        info = cache.describe()
+        out.write(f"cache dir:   {info['cache_dir']}\n")
+        out.write(f"key version: {info['key_version']}\n")
+        out.write(f"entries:     {info['disk_entries']}\n")
+        out.write(f"bytes:       {info['disk_bytes']} "
+                  f"({_human_bytes(info['disk_bytes'])})\n")
+        return 0
+    if args.cache_command == "gc":
+        stale_entries, stale_bytes = cache.gc_versions()
+        out.write(f"stale versions: removed {stale_entries} entries "
+                  f"({_human_bytes(stale_bytes)})\n")
+        if args.max_bytes is not None:
+            entries, freed = cache.gc(max_bytes=args.max_bytes)
+            out.write(f"size gc: removed {entries} entries "
+                      f"({_human_bytes(freed)}), "
+                      f"{_human_bytes(cache.disk_bytes())} retained\n")
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        out.write(f"cleared {removed} entries from {cache_dir}\n")
+        return 0
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
 def _cmd_simpoint(args, out) -> int:
@@ -199,6 +294,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_run_experiment(args, out)
     if args.command == "sweep":
         return _cmd_sweep(args, out)
+    if args.command == "cache":
+        return _cmd_cache(args, out)
     if args.command == "simpoint":
         return _cmd_simpoint(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -25,7 +25,12 @@ from repro.errors import ModelError, NotFittedError
 from repro.core import metrics as _metrics
 from repro.core.rbf import RBFNetwork
 from repro.core.selection import SCHEMES, consensus_ranking
-from repro.core.wavelets import WAVELETS, CONVENTIONS, dwt, idwt
+from repro.core.wavelets import (
+    CONVENTIONS,
+    WAVELETS,
+    dwt_batch,
+    idwt_batch,
+)
 
 
 @dataclass(frozen=True)
@@ -133,9 +138,9 @@ class WaveletNeuralPredictor:
             raise ModelError(
                 f"n_coefficients={s.n_coefficients} exceeds trace length {n_samples}"
             )
-        coeffs = np.vstack([
-            dwt(row, wavelet=s.wavelet, convention=s.convention) for row in traces
-        ])
+        # One vectorized transform of the whole (n_configs, n_samples)
+        # matrix instead of a per-row Python loop + vstack.
+        coeffs = dwt_batch(traces, wavelet=s.wavelet, convention=s.convention)
         if s.scheme == "order":
             selected = np.arange(s.n_coefficients)
         else:
@@ -183,9 +188,7 @@ class WaveletNeuralPredictor:
         """Predicted dynamics, shape ``(n_configs, n_samples)``."""
         s = self.settings
         coeffs = self.predict_coefficients(X)
-        return np.vstack([
-            idwt(row, wavelet=s.wavelet, convention=s.convention) for row in coeffs
-        ])
+        return idwt_batch(coeffs, wavelet=s.wavelet, convention=s.convention)
 
     def predict_one(self, x) -> np.ndarray:
         """Predicted dynamics for a single design vector."""

@@ -12,9 +12,13 @@ goes through:
   :class:`~repro.engine.executor.Executor` protocol, with deterministic
   result ordering;
 * :class:`~repro.engine.cache.ResultCache` — npz-per-job disk tier plus
-  an in-memory LRU front, keyed by job content hash;
+  an in-memory LRU front, keyed by job content hash, with a byte-capped
+  mtime-LRU lifecycle (``gc`` / ``gc_versions`` / ``clear``);
 * :class:`~repro.engine.executor.ExecutionEngine` — composes the two:
-  batch cache lookups, in-batch deduplication, miss execution.
+  batch cache lookups, in-batch deduplication, miss execution — with a
+  blocking ``run`` and a streaming ``submit`` returning a
+  :class:`~repro.engine.executor.BatchHandle` (``as_completed`` /
+  ``result(i)`` / ``results()``).
 
 Typical use::
 
@@ -22,25 +26,36 @@ Typical use::
 
     engine = create_engine(jobs=8, cache_dir="~/.cache/repro")
     results = engine.run([SimJob("gcc", cfg) for cfg in configs])
+
+    # Streaming: consume results as they finish (cache hits first).
+    handle = engine.submit([SimJob("gcc", cfg) for cfg in configs])
+    for index, result in handle.as_completed():
+        analyse(result)          # overlaps the remaining simulations
 """
 
-from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.cache import CacheStats, ResultCache, VERSION_TAG
 from repro.engine.executor import (
+    BatchHandle,
     ExecutionEngine,
     Executor,
     LocalExecutor,
     ParallelExecutor,
+    ResultCallback,
     create_engine,
 )
-from repro.engine.jobs import SimJob, make_jobs
+from repro.engine.jobs import KEY_VERSION, SimJob, make_jobs
 
 __all__ = [
     "SimJob",
     "make_jobs",
+    "KEY_VERSION",
+    "VERSION_TAG",
     "Executor",
     "LocalExecutor",
     "ParallelExecutor",
     "ExecutionEngine",
+    "BatchHandle",
+    "ResultCallback",
     "ResultCache",
     "CacheStats",
     "create_engine",

@@ -3,9 +3,21 @@
 Repeated experiment and figure runs re-simulate the exact same
 (benchmark, configuration) grid; with a :class:`ResultCache` attached to
 the engine every repeat becomes a lookup.  Entries are named by the
-job's content-hash key (:meth:`repro.engine.jobs.SimJob.key`), so a
-cache directory can be shared between processes, machines, and sweeps —
-anything with the same key is by construction the same simulation.
+job's content-hash key (:meth:`repro.engine.jobs.SimJob.key`) prefixed
+with the engine's key version, so a cache directory can be shared
+between processes, machines, and sweeps — anything with the same key is
+by construction the same simulation — and entries written under an
+older, incompatible key version are identifiable (and collectable) by
+filename alone.
+
+The disk tier has a real lifecycle:
+
+* an optional **byte cap** (``max_bytes``) enforced after every store by
+  evicting the oldest entries first (file-mtime LRU);
+* explicit :meth:`gc` (size-targeted collection), :meth:`gc_versions`
+  (drop entries from other key versions) and :meth:`clear`;
+* byte/entry accounting surfaced through :meth:`disk_bytes`,
+  :meth:`describe` and the ``repro cache`` CLI.
 
 Disk writes are atomic (tmp file + ``os.replace``) so a crashed or
 interrupted sweep never leaves a truncated entry behind; unreadable
@@ -20,24 +32,30 @@ import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import EngineError
-from repro.engine.jobs import SimJob
+from repro.engine.jobs import KEY_VERSION, SimJob
 from repro.uarch.params import MachineConfig
 from repro.uarch.simulator import SimulationResult
+
+#: Filesystem-safe form of the current job-key version, used as the
+#: filename prefix of every disk entry this cache writes.
+VERSION_TAG = KEY_VERSION.replace("/", "-")
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for one :class:`ResultCache` instance."""
+    """Hit/miss/volume counters for one :class:`ResultCache` instance."""
 
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
+    bytes_written: int = 0
 
     @property
     def hits(self) -> int:
@@ -52,9 +70,12 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def describe(self) -> str:
-        return (f"{self.hits}/{self.lookups} hits "
+        text = (f"{self.hits}/{self.lookups} hits "
                 f"({self.memory_hits} memory, {self.disk_hits} disk), "
                 f"{self.stores} stores")
+        if self.evictions:
+            text += f", {self.evictions} evictions"
+        return text
 
 
 def _config_arrays(config: MachineConfig):
@@ -95,21 +116,34 @@ class ResultCache:
         purely in-memory.  Created on first store.
     memory_items:
         Capacity of the in-memory LRU front (0 disables it).
+    max_bytes:
+        Disk-tier byte cap, enforced after every store by mtime-LRU
+        eviction; ``None`` leaves the tier unbounded.
     """
 
-    def __init__(self, cache_dir=None, memory_items: int = 512):
+    def __init__(self, cache_dir=None, memory_items: int = 512,
+                 max_bytes: Optional[int] = None):
         if memory_items < 0:
             raise EngineError(
                 f"memory_items must be >= 0, got {memory_items}"
             )
+        if max_bytes is not None and max_bytes < 1:
+            raise EngineError(
+                f"max_bytes must be >= 1 or None, got {max_bytes}"
+            )
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.memory_items = memory_items
+        self.max_bytes = max_bytes
         self.stats = CacheStats()
         self._memory: "OrderedDict[str, SimulationResult]" = OrderedDict()
+        # Disk index: filename -> size in bytes, kept oldest-mtime-first
+        # so byte-cap eviction pops from the front.  Built lazily from a
+        # directory scan, then maintained incrementally.
+        self._disk: Optional["OrderedDict[str, int]"] = None
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> Path:
-        return self.cache_dir / f"{key}.npz"
+        return self.cache_dir / f"{VERSION_TAG}-{key}.npz"
 
     def _remember(self, key: str, result: SimulationResult) -> None:
         if self.memory_items == 0:
@@ -118,6 +152,58 @@ class ResultCache:
         self._memory.move_to_end(key)
         while len(self._memory) > self.memory_items:
             self._memory.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Disk index
+    # ------------------------------------------------------------------
+    def _scan_disk(self) -> "OrderedDict[str, int]":
+        entries = []
+        if self.cache_dir is not None and self.cache_dir.exists():
+            for path in self.cache_dir.glob("*.npz"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue  # deleted underneath us (shared directory)
+                entries.append((stat.st_mtime, path.name, stat.st_size))
+        entries.sort()
+        return OrderedDict((name, size) for _, name, size in entries)
+
+    def _index(self) -> "OrderedDict[str, int]":
+        if self._disk is None:
+            self._disk = self._scan_disk()
+        return self._disk
+
+    def disk_bytes(self) -> int:
+        """Total bytes held by the disk tier (0 when disabled)."""
+        if self.cache_dir is None:
+            return 0
+        return sum(self._index().values())
+
+    def _evict(self, name: str) -> int:
+        """Remove one disk entry; returns the bytes freed."""
+        index = self._index()
+        size = index.pop(name, 0)
+        try:
+            (self.cache_dir / name).unlink()
+        except OSError:
+            pass  # already gone: the accounting above still holds
+        self.stats.evictions += 1
+        return size
+
+    def _enforce_cap(self, max_bytes: Optional[int]) -> Tuple[int, int]:
+        """Evict oldest-first until the tier fits; (entries, bytes) freed."""
+        freed_entries, freed_bytes = 0, 0
+        if max_bytes is None or self.cache_dir is None:
+            return freed_entries, freed_bytes
+        index = self._index()
+        total = sum(index.values())
+        while total > max_bytes and index:
+            name = next(iter(index))
+            size = self._evict(name)
+            total -= size
+            freed_entries += 1
+            freed_bytes += size
+        return freed_entries, freed_bytes
 
     # ------------------------------------------------------------------
     def get(self, job: SimJob) -> Optional[SimulationResult]:
@@ -142,17 +228,90 @@ class ResultCache:
         return None
 
     def put(self, job: SimJob, result: SimulationResult) -> None:
-        """Store ``result`` under ``job``'s key in every enabled tier."""
+        """Store ``result`` under ``job``'s key in every enabled tier.
+
+        With a ``max_bytes`` cap configured, the disk tier is brought
+        back under the cap before this method returns — the cache never
+        ends a sweep over budget.
+        """
         key = job.key()
         self._remember(key, result)
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
-            self._dump(self._path(key), result)
+            path = self._path(key)
+            self._dump(path, result)
+            size = path.stat().st_size
+            index = self._index()
+            index.pop(path.name, None)  # overwrite: refresh recency
+            index[path.name] = size
+            self.stats.bytes_written += size
+            self._enforce_cap(self.max_bytes)
         self.stats.stores += 1
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def gc(self, max_bytes: Optional[int] = None) -> Tuple[int, int]:
+        """Collect the disk tier down to a byte target.
+
+        Rescans the directory first (so entries written by other
+        processes are seen), then evicts oldest-mtime-first until the
+        tier fits ``max_bytes`` (defaulting to the configured cap).
+        Returns ``(entries_removed, bytes_freed)``.
+        """
+        if self.cache_dir is None:
+            return (0, 0)
+        self._disk = self._scan_disk()
+        target = max_bytes if max_bytes is not None else self.max_bytes
+        return self._enforce_cap(target)
+
+    def gc_versions(self) -> Tuple[int, int]:
+        """Drop disk entries written under any *other* key version.
+
+        A key-version bump (:data:`repro.engine.jobs.KEY_VERSION`) makes
+        old entries unreachable — this reclaims their space.  Entries
+        from the seed naming scheme (bare hex, no version prefix) are
+        unreachable too and are collected alike.  Returns
+        ``(entries_removed, bytes_freed)``.
+        """
+        if self.cache_dir is None:
+            return (0, 0)
+        self._disk = self._scan_disk()
+        prefix = VERSION_TAG + "-"
+        stale = [name for name in self._index()
+                 if not name.startswith(prefix)]
+        freed = 0
+        for name in stale:
+            freed += self._evict(name)
+        return (len(stale), freed)
+
+    def clear(self) -> int:
+        """Drop every entry in every tier; returns disk entries removed."""
+        self._memory.clear()
+        if self.cache_dir is None:
+            return 0
+        self._disk = self._scan_disk()
+        names = list(self._index())
+        for name in names:
+            self._evict(name)
+        return len(names)
 
     def clear_memory(self) -> None:
         """Drop the in-memory tier (the disk tier survives)."""
         self._memory.clear()
+
+    def describe(self) -> Dict[str, object]:
+        """Machine-readable snapshot for the ``repro cache`` CLI."""
+        return {
+            "cache_dir": str(self.cache_dir) if self.cache_dir else None,
+            "disk_entries": len(self._index()) if self.cache_dir else 0,
+            "disk_bytes": self.disk_bytes(),
+            "max_bytes": self.max_bytes,
+            "memory_entries": len(self._memory),
+            "memory_items": self.memory_items,
+            "key_version": KEY_VERSION,
+            "stats": self.stats.describe(),
+        }
 
     def __len__(self) -> int:
         """Number of entries in the disk tier (memory-only: LRU size)."""

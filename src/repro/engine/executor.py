@@ -1,28 +1,49 @@
 """Executors: run job batches in-process or across worker processes.
 
-Every executor implements one method — ``run_batch(jobs)`` — and returns
-results **in job order**, regardless of completion order.  Because each
-:class:`~repro.engine.jobs.SimJob` is deterministic (the interval model
-seeds its measurement texture from the job content itself), the parallel
-and sequential paths produce bit-identical traces; ``tests/test_engine.py``
-pins that property.
+Every executor implements ``run_batch(jobs)`` — results **in job order**,
+regardless of completion order — and ``submit_batch(jobs)``, a streaming
+variant yielding ``(job_index, result)`` pairs in **completion order**.
+Because each :class:`~repro.engine.jobs.SimJob` is deterministic (the
+interval model seeds its measurement texture from the job content
+itself), the parallel, sequential and streaming paths produce
+bit-identical traces; ``tests/test_engine.py`` and
+``tests/test_streaming.py`` pin that property.
 
 :class:`ExecutionEngine` composes an executor with an optional
 :class:`~repro.engine.cache.ResultCache`: batch lookups first, duplicate
-jobs deduplicated by content key, only the misses dispatched.
+jobs deduplicated by content key, only the misses dispatched.  Its
+``submit`` method returns a :class:`BatchHandle` whose ``as_completed``
+stream resolves cache hits immediately and surfaces pool results as they
+finish — the consumer can start analysing early results (e.g. fitting
+predictive models) while the tail of the batch is still simulating.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import as_completed as _as_completed
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Optional, Protocol, Sequence
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import EngineError
 from repro.engine.cache import ResultCache
 from repro.engine.jobs import SimJob
 from repro.uarch.simulator import SimulationResult
+
+#: Signature of per-result progress callbacks:
+#: ``callback(job_index, job, result, from_cache)``.
+ResultCallback = Callable[[int, SimJob, SimulationResult, bool], None]
 
 
 class Executor(Protocol):
@@ -38,21 +59,47 @@ def _run_chunk(jobs: Sequence[SimJob]) -> List[SimulationResult]:
     return [job.run() for job in jobs]
 
 
+def _sequential_stream(jobs: Sequence[SimJob],
+                       ) -> Iterator[Tuple[int, SimulationResult]]:
+    """Lazy in-process stream: each job runs when the consumer pulls it."""
+    for i, job in enumerate(jobs):
+        yield i, job.run()
+
+
 class LocalExecutor:
     """Runs jobs sequentially in the current process."""
 
     def run_batch(self, jobs: Sequence[SimJob]) -> List[SimulationResult]:
         return _run_chunk(jobs)
 
+    def submit_batch(self, jobs: Sequence[SimJob],
+                     ) -> Iterator[Tuple[int, SimulationResult]]:
+        """Stream results lazily, in job order (== completion order).
+
+        Routed through ``self.run_batch`` one job at a time so
+        subclasses that instrument execution observe the streaming path
+        too.
+        """
+        jobs = list(jobs)
+
+        def _drain() -> Iterator[Tuple[int, SimulationResult]]:
+            for i, job in enumerate(jobs):
+                yield i, self.run_batch([job])[0]
+
+        return _drain()
+
 
 class ParallelExecutor:
     """Fans job batches out over a process pool.
 
     Jobs are grouped into contiguous chunks (amortizing pickle and IPC
-    overhead over many sub-millisecond interval simulations), submitted
-    to a :class:`~concurrent.futures.ProcessPoolExecutor`, and stitched
-    back together by chunk index — so the output order never depends on
-    scheduling.
+    overhead over many sub-millisecond interval simulations) and
+    submitted to a :class:`~concurrent.futures.ProcessPoolExecutor`.
+    ``run_batch`` stitches the chunks back together by chunk index — so
+    the output order never depends on scheduling — while
+    ``submit_batch`` yields each chunk's results the moment its future
+    completes, letting consumers overlap analysis with the simulation
+    tail.
 
     Parameters
     ----------
@@ -109,27 +156,148 @@ class ParallelExecutor:
             size = max(1, -(-len(jobs) // (self.max_workers * 4)))
         return [jobs[i:i + size] for i in range(0, len(jobs), size)]
 
-    def run_batch(self, jobs: Sequence[SimJob]) -> List[SimulationResult]:
+    def submit_batch(self, jobs: Sequence[SimJob],
+                     ) -> Iterator[Tuple[int, SimulationResult]]:
+        """Submit every chunk now; stream results in completion order.
+
+        The futures are dispatched eagerly — the pool starts working the
+        moment this method is called, before the returned iterator is
+        first pulled — so consumer-side work genuinely overlaps the
+        remaining simulations.
+        """
         jobs = list(jobs)
         if not jobs:
-            return []
+            return iter(())
         if self.max_workers == 1 or len(jobs) == 1:
-            return _run_chunk(jobs)
+            return _sequential_stream(jobs)
         chunks = self._chunks(jobs)
-        ordered: List[Optional[List[SimulationResult]]] = [None] * len(chunks)
         pool = self._get_pool()
+        futures: Dict = {}
+        offset = 0
+        for chunk in chunks:
+            futures[pool.submit(_run_chunk, chunk)] = offset
+            offset += len(chunk)
+
+        def _drain() -> Iterator[Tuple[int, SimulationResult]]:
+            try:
+                for future in _as_completed(futures):
+                    try:
+                        chunk_results = future.result()
+                    except BrokenProcessPool:
+                        self.close()  # a dead pool cannot serve the next batch
+                        raise
+                    start = futures[future]
+                    for j, result in enumerate(chunk_results):
+                        yield start + j, result
+            finally:
+                # On error or early consumer exit, drop what never ran.
+                for future in futures:
+                    future.cancel()
+
+        return _drain()
+
+    def run_batch(self, jobs: Sequence[SimJob]) -> List[SimulationResult]:
+        jobs = list(jobs)
+        ordered: List[Optional[SimulationResult]] = [None] * len(jobs)
+        for i, result in self.submit_batch(jobs):
+            ordered[i] = result
+        return ordered  # type: ignore[return-value]
+
+
+class BatchHandle:
+    """Streaming view of one submitted batch.
+
+    Returned by :meth:`ExecutionEngine.submit`.  Jobs resolved from the
+    cache are available immediately; executor results arrive in
+    completion order.  Consumers choose their trade-off:
+
+    * :meth:`as_completed` — iterate ``(job_index, result)`` pairs the
+      moment each resolves (cache hits first, then pool results as they
+      finish), overlapping their own work with the simulation tail;
+    * :meth:`result` — block for one specific job;
+    * :meth:`results` — block for everything, **in job order** (the
+      deterministic view :meth:`ExecutionEngine.run` exposes).
+
+    All accessors agree: however the stream is consumed, job *i* always
+    maps to the same :class:`~repro.uarch.simulator.SimulationResult`.
+    """
+
+    def __init__(self, jobs: List[SimJob],
+                 results: List[Optional[SimulationResult]],
+                 resolved: List[bool],
+                 ready: "deque[Tuple[int, SimulationResult]]",
+                 stream: Iterator[Tuple[int, SimulationResult]],
+                 unique_jobs: List[SimJob],
+                 fanout: Dict[int, List[int]],
+                 cache: Optional[ResultCache],
+                 callbacks: List[ResultCallback]):
+        self.jobs = jobs
+        self.cache_hits = len(ready)  #: jobs resolved from cache at submit
+        self._results = results
+        self._resolved = resolved
+        self._ready = ready
+        self._stream = stream
+        self._unique = unique_jobs
+        self._fanout = fanout
+        self._cache = cache
+        self._callbacks = callbacks
+        self._yielded = 0
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def done(self) -> int:
+        """Jobs resolved so far (cache hits + drained executor results)."""
+        return sum(self._resolved)
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        """Pull one executor result and fan it out to its job indices."""
         try:
-            futures = {pool.submit(_run_chunk, chunk): i
-                       for i, chunk in enumerate(chunks)}
-            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
-            for future in not_done:
-                future.cancel()
-            for future in done:
-                ordered[futures[future]] = future.result()  # re-raises
-        except BrokenProcessPool:
-            self.close()  # a dead pool cannot serve the next batch
-            raise
-        return [result for chunk in ordered for result in chunk]
+            unique_index, result = next(self._stream)
+        except StopIteration:
+            raise EngineError(
+                "executor stream exhausted with unresolved jobs in the batch"
+            )
+        job = self._unique[unique_index]
+        if self._cache is not None:
+            self._cache.put(job, result)
+        for i in self._fanout[unique_index]:
+            self._results[i] = result
+            self._resolved[i] = True
+            self._ready.append((i, result))
+            for callback in self._callbacks:
+                callback(i, job, result, False)
+
+    def as_completed(self) -> Iterator[Tuple[int, SimulationResult]]:
+        """Yield ``(job_index, result)`` pairs in completion order.
+
+        Cache hits are yielded first (they resolved at submit time);
+        executor results follow as they finish.  Safe to resume after a
+        partial drain or interleave with :meth:`result` — every job is
+        yielded exactly once across all ``as_completed`` iterations.
+        """
+        while self._yielded < len(self.jobs):
+            if not self._ready:
+                self._advance()
+            index, result = self._ready.popleft()
+            self._yielded += 1
+            yield index, result
+
+    def result(self, index: int) -> SimulationResult:
+        """Block until job ``index`` resolves and return its result."""
+        if not 0 <= index < len(self.jobs):
+            raise EngineError(
+                f"job index {index} out of range for batch of {len(self.jobs)}"
+            )
+        while not self._resolved[index]:
+            self._advance()
+        return self._results[index]  # type: ignore[return-value]
+
+    def results(self) -> List[SimulationResult]:
+        """Block until the whole batch resolves; results in job order."""
+        return [self.result(i) for i in range(len(self.jobs))]
 
 
 class ExecutionEngine:
@@ -138,7 +306,8 @@ class ExecutionEngine:
     ``run(jobs)`` resolves each job from the cache when possible,
     deduplicates identical jobs inside the batch by content key, runs
     only the remaining unique misses through the executor, and returns
-    results in job order.
+    results in job order.  ``submit(jobs)`` exposes the same batch as a
+    :class:`BatchHandle` stream.
 
     Parameters
     ----------
@@ -146,40 +315,79 @@ class ExecutionEngine:
         Where misses execute; defaults to :class:`LocalExecutor`.
     cache:
         Optional :class:`~repro.engine.cache.ResultCache`.
+    on_result:
+        Optional engine-wide progress callback, invoked as
+        ``on_result(job_index, job, result, from_cache)`` for every job
+        resolved by any batch this engine runs (the CLI's ``--progress``
+        hook).
     """
 
     def __init__(self, executor: Optional[Executor] = None,
-                 cache: Optional[ResultCache] = None):
+                 cache: Optional[ResultCache] = None,
+                 on_result: Optional[ResultCallback] = None):
         self.executor = executor or LocalExecutor()
         self.cache = cache
+        self.on_result = on_result
 
-    def run(self, jobs: Sequence[SimJob]) -> List[SimulationResult]:
+    # ------------------------------------------------------------------
+    def submit(self, jobs: Sequence[SimJob],
+               on_result: Optional[ResultCallback] = None) -> BatchHandle:
+        """Submit a batch and return a streaming :class:`BatchHandle`.
+
+        Cache hits resolve immediately (and fire callbacks before this
+        method returns); duplicate jobs collapse to one execution; the
+        unique misses are dispatched to the executor eagerly, so a
+        process pool starts simulating before the handle is consumed.
+        """
         jobs = list(jobs)
         results: List[Optional[SimulationResult]] = [None] * len(jobs)
+        resolved = [False] * len(jobs)
+        ready: "deque[Tuple[int, SimulationResult]]" = deque()
+        callbacks: List[ResultCallback] = []
+        if self.on_result is not None:
+            callbacks.append(self.on_result)
+        if on_result is not None:
+            callbacks.append(on_result)
 
-        # Resolve cache hits and collapse duplicates to one execution.
-        pending: Dict[str, List[int]] = {}
+        pending: Dict[str, int] = {}  # job key -> unique-miss index
+        fanout: Dict[int, List[int]] = {}
         unique_jobs: List[SimJob] = []
         for i, job in enumerate(jobs):
             key = job.key()
             if key in pending:
-                pending[key].append(i)
+                fanout[pending[key]].append(i)
                 continue
             cached = self.cache.get(job) if self.cache is not None else None
             if cached is not None:
                 results[i] = cached
+                resolved[i] = True
+                ready.append((i, cached))
+                for callback in callbacks:
+                    callback(i, job, cached, True)
             else:
-                pending[key] = [i]
+                pending[key] = len(unique_jobs)
+                fanout[len(unique_jobs)] = [i]
                 unique_jobs.append(job)
 
-        if unique_jobs:
-            fresh = self.executor.run_batch(unique_jobs)
-            for job, result in zip(unique_jobs, fresh):
-                if self.cache is not None:
-                    self.cache.put(job, result)
-                for i in pending[job.key()]:
-                    results[i] = result
-        return results  # type: ignore[return-value]
+        stream = self._dispatch(unique_jobs)
+        return BatchHandle(jobs, results, resolved, ready, stream,
+                           unique_jobs, fanout, self.cache, callbacks)
+
+    def _dispatch(self, unique_jobs: List[SimJob],
+                  ) -> Iterator[Tuple[int, SimulationResult]]:
+        """Start the unique misses on the executor, streaming if it can."""
+        if not unique_jobs:
+            return iter(())
+        submit_batch = getattr(self.executor, "submit_batch", None)
+        if submit_batch is not None:
+            return submit_batch(unique_jobs)
+        # Third-party executor with only the protocol's run_batch: run
+        # eagerly and replay in job order (no overlap, still correct).
+        return iter(enumerate(self.executor.run_batch(unique_jobs)))
+
+    def run(self, jobs: Sequence[SimJob]) -> List[SimulationResult]:
+        """Run a batch to completion; results in job order."""
+        return self.submit(jobs).results()
 
     def run_one(self, job: SimJob) -> SimulationResult:
         """Convenience wrapper for a single job."""
@@ -188,8 +396,11 @@ class ExecutionEngine:
 
 def create_engine(jobs: Optional[int] = None,
                   cache_dir=None,
-                  memory_items: int = 512) -> ExecutionEngine:
-    """Build an engine from the two user-facing knobs.
+                  memory_items: int = 512,
+                  cache_max_bytes: Optional[int] = None,
+                  on_result: Optional[ResultCallback] = None,
+                  ) -> ExecutionEngine:
+    """Build an engine from the user-facing knobs.
 
     Parameters
     ----------
@@ -202,6 +413,12 @@ def create_engine(jobs: Optional[int] = None,
         keeps an in-memory LRU when ``memory_items > 0``).
     memory_items:
         In-memory LRU capacity.
+    cache_max_bytes:
+        Byte cap for the disk tier; oldest entries (by file mtime) are
+        evicted when a store would exceed it.  ``None`` means unbounded.
+    on_result:
+        Engine-wide per-job progress callback (see
+        :class:`ExecutionEngine`).
     """
     if jobs is not None and jobs < 1:
         raise EngineError(f"jobs must be >= 1, got {jobs}")
@@ -212,5 +429,7 @@ def create_engine(jobs: Optional[int] = None,
         executor = LocalExecutor()
     cache = None
     if cache_dir is not None or memory_items > 0:
-        cache = ResultCache(cache_dir=cache_dir, memory_items=memory_items)
-    return ExecutionEngine(executor=executor, cache=cache)
+        cache = ResultCache(cache_dir=cache_dir, memory_items=memory_items,
+                            max_bytes=cache_max_bytes)
+    return ExecutionEngine(executor=executor, cache=cache,
+                           on_result=on_result)

@@ -39,6 +39,7 @@ ABLATION_BENCHMARKS = ("gcc", "mcf", "swim", "crafty")
           "Section 3 claim")
 def run_selection_ablation(ctx) -> ExperimentResult:
     """Magnitude vs order selection at several coefficient budgets."""
+    ctx.prefetch(ABLATION_BENCHMARKS)
     rows = []
     wins = 0
     total = 0
@@ -70,6 +71,7 @@ def run_selection_ablation(ctx) -> ExperimentResult:
 @register("abl-baselines", "Baseline model comparison", "Sections 1/7 claims")
 def run_baseline_ablation(ctx) -> ExperimentResult:
     """Wavelet NN vs linear / aggregate-only / per-sample baselines."""
+    ctx.prefetch(ABLATION_BENCHMARKS)
     rows = []
     for bench in ABLATION_BENCHMARKS:
         train, test = ctx.dataset(bench)
@@ -108,6 +110,7 @@ def run_baseline_ablation(ctx) -> ExperimentResult:
           "Section 2.1 design choice")
 def run_wavelet_ablation(ctx) -> ExperimentResult:
     """Paper Haar vs orthonormal Haar vs Daubechies-4 at k=16."""
+    ctx.prefetch(ABLATION_BENCHMARKS)
     variants = (
         ("haar/paper", dict(wavelet="haar", convention="paper")),
         ("haar/orthonormal", dict(wavelet="haar", convention="orthonormal")),

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -81,14 +81,17 @@ class Scale:
 
 
 def engine_from_env(jobs: Optional[int] = None,
-                    cache_dir=None) -> ExecutionEngine:
+                    cache_dir=None,
+                    cache_max_bytes: Optional[int] = None,
+                    on_result=None) -> ExecutionEngine:
     """Build an engine from environment knobs, with optional overrides.
 
     ``REPRO_JOBS`` selects the worker-process count (parallel sweep
-    execution when > 1) and ``REPRO_CACHE_DIR`` enables the on-disk
-    result cache.  Explicit ``jobs`` / ``cache_dir`` arguments (the
-    CLI's ``--jobs`` / ``--cache-dir`` flags) take precedence over the
-    environment.
+    execution when > 1), ``REPRO_CACHE_DIR`` enables the on-disk result
+    cache, and ``REPRO_CACHE_MAX_BYTES`` caps its size (mtime-LRU
+    eviction).  Explicit arguments (the CLI's ``--jobs`` /
+    ``--cache-dir`` / ``--cache-max-bytes`` flags) take precedence over
+    the environment.
     """
     if jobs is None:
         jobs_env = os.environ.get("REPRO_JOBS", "").strip()
@@ -100,7 +103,17 @@ def engine_from_env(jobs: Optional[int] = None,
             )
     if cache_dir is None:
         cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip() or None
-    return create_engine(jobs=jobs, cache_dir=cache_dir)
+    if cache_max_bytes is None:
+        cap_env = os.environ.get("REPRO_CACHE_MAX_BYTES", "").strip()
+        try:
+            cache_max_bytes = int(cap_env) if cap_env else None
+        except ValueError:
+            raise ExperimentError(
+                f"REPRO_CACHE_MAX_BYTES must be an integer, got {cap_env!r}"
+            )
+    return create_engine(jobs=jobs, cache_dir=cache_dir,
+                         cache_max_bytes=cache_max_bytes,
+                         on_result=on_result)
 
 
 class ExperimentContext:
@@ -128,6 +141,10 @@ class ExperimentContext:
     # ------------------------------------------------------------------
     # Datasets
     # ------------------------------------------------------------------
+    def _dataset_key(self, benchmark: str, n_samples: int, dvm: bool,
+                     dvm_threshold: float) -> Tuple:
+        return (benchmark, n_samples, dvm, dvm_threshold if dvm else None)
+
     def dataset(self, benchmark: str, n_samples: Optional[int] = None,
                 dvm: bool = False, dvm_threshold: float = 0.3,
                 ) -> Tuple[DynamicsDataset, DynamicsDataset]:
@@ -138,27 +155,75 @@ class ExperimentContext:
         configurations are sampled over the extended space too.
         """
         n_samples = n_samples or self.scale.n_samples
-        key = (benchmark, n_samples, dvm, dvm_threshold if dvm else None)
+        key = self._dataset_key(benchmark, n_samples, dvm, dvm_threshold)
         if key not in self._datasets:
-            space = self.dvm_space if dvm else self.space
-            plan = SweepPlan(space=space, n_train=self.scale.n_train,
-                             n_test=self.scale.n_test, seed=self.scale.seed)
-            runner = SweepRunner(n_samples=n_samples, engine=self.engine)
-            train_cfgs, test_cfgs = plan.sample()
-            if dvm:
-                train_cfgs = [
-                    c.with_dvm(c.dvm_enabled, dvm_threshold) for c in train_cfgs
-                ]
-                test_cfgs = [
-                    c.with_dvm(c.dvm_enabled, dvm_threshold) for c in test_cfgs
-                ]
-            # One batched submission covering both splits: a parallel
-            # engine stays saturated across the train/test boundary.
-            train, test = runner.run_many(
-                benchmark, [train_cfgs, test_cfgs], space
-            )
-            self._datasets[key] = (train, test)
+            for _ in self.iter_datasets((benchmark,), n_samples, dvm,
+                                        dvm_threshold):
+                pass
         return self._datasets[key]
+
+    def prefetch(self, benchmarks: Sequence[str],
+                 n_samples: Optional[int] = None, dvm: bool = False,
+                 dvm_threshold: float = 0.3) -> None:
+        """Build several benchmarks' (train, test) datasets as one batch.
+
+        Figure drivers that iterate benchmarks call this first: all the
+        missing sweeps are submitted together, so a parallel engine
+        stays saturated across benchmark boundaries instead of draining
+        at the tail of each per-benchmark batch.
+        """
+        for _ in self.iter_datasets(benchmarks, n_samples, dvm,
+                                    dvm_threshold):
+            pass
+
+    def iter_datasets(self, benchmarks: Sequence[str],
+                      n_samples: Optional[int] = None, dvm: bool = False,
+                      dvm_threshold: float = 0.3) -> Iterator[str]:
+        """Yield benchmark names as their (train, test) datasets land.
+
+        Already-built benchmarks yield first; the rest have their
+        train+test sweeps submitted as **one** engine batch and yield in
+        sweep-completion order, each one's datasets stored in the
+        context before its name is yielded.  Consumers can therefore fit
+        models for finished benchmarks while the remaining benchmarks
+        are still simulating — the streaming overlap the ROADMAP's
+        "async streaming sweeps" item asks for.
+        """
+        n_samples = n_samples or self.scale.n_samples
+        missing: List[str] = []
+        for bench in dict.fromkeys(benchmarks):  # de-dup, keep order
+            key = self._dataset_key(bench, n_samples, dvm, dvm_threshold)
+            if key in self._datasets:
+                yield bench
+            else:
+                missing.append(bench)
+        if not missing:
+            return
+        space = self.dvm_space if dvm else self.space
+        plan = SweepPlan(space=space, n_train=self.scale.n_train,
+                         n_test=self.scale.n_test, seed=self.scale.seed)
+        # Every benchmark shares one sampling plan, so the configuration
+        # lists are drawn once and shared across all submitted sweeps.
+        train_cfgs, test_cfgs = plan.sample()
+        if dvm:
+            train_cfgs = [
+                c.with_dvm(c.dvm_enabled, dvm_threshold) for c in train_cfgs
+            ]
+            test_cfgs = [
+                c.with_dvm(c.dvm_enabled, dvm_threshold) for c in test_cfgs
+            ]
+        runner = SweepRunner(n_samples=n_samples, engine=self.engine)
+        requests = [(bench, [train_cfgs, test_cfgs]) for bench in missing]
+        partial: Dict[int, Dict[int, DynamicsDataset]] = {}
+        for request_index, group_index, ds in runner.run_grid_streaming(
+                requests, space):
+            groups = partial.setdefault(request_index, {})
+            groups[group_index] = ds
+            if len(groups) == 2:
+                bench = missing[request_index]
+                key = self._dataset_key(bench, n_samples, dvm, dvm_threshold)
+                self._datasets[key] = (groups[0], groups[1])
+                yield bench
 
     # ------------------------------------------------------------------
     # Models
@@ -201,12 +266,20 @@ class ExperimentContext:
                             n_coefficients: Optional[int] = None,
                             n_samples: Optional[int] = None,
                             ) -> Dict[str, np.ndarray]:
-        """MSE% arrays per benchmark for one domain."""
-        benchmarks = benchmarks or self.scale.benchmarks
-        return {
-            bench: self.test_errors(bench, domain, n_coefficients, n_samples)
-            for bench in benchmarks
-        }
+        """MSE% arrays per benchmark for one domain.
+
+        All benchmarks' train+test sweeps are submitted as one engine
+        batch; each benchmark's models are fitted and scored the moment
+        its sweep drains, overlapping fitting with the simulation tail
+        of the remaining benchmarks.  The returned dict is keyed in the
+        requested benchmark order regardless of completion order.
+        """
+        benchmarks = tuple(benchmarks or self.scale.benchmarks)
+        errors: Dict[str, np.ndarray] = {}
+        for bench in self.iter_datasets(benchmarks, n_samples):
+            errors[bench] = self.test_errors(bench, domain, n_coefficients,
+                                             n_samples)
+        return {bench: errors[bench] for bench in benchmarks}
 
 
 _CONTEXT: Optional[ExperimentContext] = None

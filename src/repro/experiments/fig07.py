@@ -14,21 +14,23 @@ import numpy as np
 
 from repro.analysis.render import render_heatmap
 from repro.core.selection import rank_map, ranking_stability
-from repro.core.wavelets import dwt
+from repro.core.wavelets import dwt_batch
 from repro.experiments.registry import ExperimentResult, ExperimentTable, register
 
 
 @register("fig7", "Magnitude-based ranking stability", "Figure 7")
 def run_fig7(ctx) -> ExperimentResult:
     """Rank maps and stability for gcc (plus summary for all benches)."""
+    # All benchmarks' sweeps as one engine batch (keeps a pool saturated).
+    ctx.prefetch(ctx.scale.benchmarks)
     _, test = ctx.dataset("gcc")
-    coeffs = np.vstack([dwt(row) for row in test.domain("cpi")])
+    coeffs = dwt_batch(test.domain("cpi"))
     ranks = rank_map(coeffs)
 
     stability_rows = []
     for bench in ctx.scale.benchmarks:
         _, btest = ctx.dataset(bench)
-        bcoeffs = np.vstack([dwt(row) for row in btest.domain("cpi")])
+        bcoeffs = dwt_batch(btest.domain("cpi"))
         stability_rows.append([
             bench,
             ranking_stability(bcoeffs, 16),

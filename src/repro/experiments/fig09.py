@@ -20,6 +20,8 @@ COEFFICIENT_COUNTS = (16, 32, 64, 96, 128)
 def run_fig9(ctx) -> ExperimentResult:
     """Sweep k over the paper's counts; average MSE% across benchmarks."""
     benchmarks = ctx.scale.fig9_benchmarks
+    # One engine batch covers every benchmark (k only affects fitting).
+    ctx.prefetch(benchmarks)
     rows = []
     for k in COEFFICIENT_COUNTS:
         row = [k]

@@ -23,6 +23,8 @@ def run_fig10(ctx) -> ExperimentResult:
     benchmarks = ctx.scale.fig10_benchmarks
     rows = []
     for n_samples in SAMPLE_COUNTS:
+        # Per resolution, all benchmarks' sweeps go up as one batch.
+        ctx.prefetch(benchmarks, n_samples=n_samples)
         row = [n_samples]
         for domain in EVAL_DOMAINS:
             pooled = np.concatenate([

@@ -20,6 +20,8 @@ from repro.experiments.registry import ExperimentResult, ExperimentTable, regist
 @register("fig11", "Parameter importance star plots", "Figure 11")
 def run_fig11(ctx) -> ExperimentResult:
     """Star-plot scores per benchmark, domain and measure."""
+    # All benchmarks' sweeps as one engine batch (keeps a pool saturated).
+    ctx.prefetch(ctx.scale.benchmarks)
     tables = []
     text = []
     names = ctx.space.names

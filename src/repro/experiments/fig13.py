@@ -19,6 +19,8 @@ from repro.experiments.registry import ExperimentResult, ExperimentTable, regist
 @register("fig13", "Threshold-based scenario classification", "Figure 13")
 def run_fig13(ctx) -> ExperimentResult:
     """Mean directional asymmetry per benchmark/domain/threshold."""
+    # All benchmarks' sweeps as one engine batch (keeps a pool saturated).
+    ctx.prefetch(ctx.scale.benchmarks)
     tables = []
     worst = 0.0
     for domain in EVAL_DOMAINS:

@@ -22,6 +22,8 @@ HEAT_DOMAINS = ("iq_avf", "power")
 def run_fig18(ctx) -> ExperimentResult:
     """Per-config error maps, clustered by benchmark similarity."""
     benches = list(ctx.scale.benchmarks)
+    # All benchmarks' DVM sweeps as one engine batch.
+    ctx.prefetch(benches, dvm=True)
     tables = []
     text = []
     for domain in HEAT_DOMAINS:

@@ -25,6 +25,9 @@ def run_fig19(ctx) -> ExperimentResult:
     raw MSE in squared AVF percentage points — the unit the paper's
     Figure 19 axis (0-0.5) corresponds to.
     """
+    # Per threshold, all benchmarks' DVM sweeps go up as one engine batch.
+    for threshold in DVM_THRESHOLDS:
+        ctx.prefetch(ctx.scale.benchmarks, dvm=True, dvm_threshold=threshold)
     rows_pooled = []
     rows_raw = []
     for bench in ctx.scale.benchmarks:
