@@ -24,8 +24,11 @@ The ``--jobs N`` / ``--cache-dir DIR`` / ``--cache-max-bytes N`` flags
 (on ``run-experiment`` and ``sweep``) select the execution engine's
 worker-process count and on-disk result cache; they map to the
 ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` / ``REPRO_CACHE_MAX_BYTES``
-environment variables honoured by the library.  ``--progress`` prints a
-running jobs-done / cache-hit count while long sweeps execute.
+environment variables honoured by the library.  ``--shm/--no-shm``
+toggles the zero-copy shared-memory result transport (``REPRO_SHM``),
+``--checkpoint-every N`` enables detailed-backend mid-run snapshots
+(``REPRO_CHECKPOINT_EVERY``), and ``--progress`` prints a running
+jobs-done / cache-hit count while long sweeps execute.
 """
 
 from __future__ import annotations
@@ -112,6 +115,15 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--progress", action="store_true",
                         help="print jobs-done / cache-hit progress during "
                              "sweeps")
+    parser.add_argument("--shm", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="zero-copy shared-memory result transport for "
+                             "parallel sweeps (default: on; REPRO_SHM)")
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="N",
+                        help="detailed backend: snapshot simulation state "
+                             "every N intervals so killed sweeps resume "
+                             "mid-benchmark (REPRO_CHECKPOINT_EVERY)")
 
 
 def _cmd_list_benchmarks(out) -> int:
@@ -168,15 +180,35 @@ def _progress_printer(out, every: int = 25):
 
 
 def _make_engine(args, out=None):
+    import os
+    from pathlib import Path
+
     from repro.experiments.context import engine_from_env
 
     on_result = None
     if getattr(args, "progress", False):
         on_result = _progress_printer(out or sys.stdout)
+    # Checkpoint settings travel via the environment: worker processes
+    # (forked after engine creation) read them in SimJob.run.
+    checkpoint_every = getattr(args, "checkpoint_every", None)
+    if checkpoint_every is not None:
+        os.environ["REPRO_CHECKPOINT_EVERY"] = str(checkpoint_every)
+    # Checkpoints default to living under the cache directory; a cache
+    # dir given as a flag must steer them exactly like REPRO_CACHE_DIR
+    # would, even when checkpointing itself was enabled via the
+    # environment rather than --checkpoint-every.
+    if os.environ.get("REPRO_CHECKPOINT_EVERY", "").strip():
+        cache_dir = args.cache_dir or os.environ.get(
+            "REPRO_CACHE_DIR", "").strip() or None
+        if cache_dir is not None and not os.environ.get(
+                "REPRO_CHECKPOINT_DIR", "").strip():
+            os.environ["REPRO_CHECKPOINT_DIR"] = str(
+                Path(cache_dir) / "checkpoints")
     # Flags win; unset flags fall back to the REPRO_* environment.
     return engine_from_env(jobs=args.jobs, cache_dir=args.cache_dir,
                            cache_max_bytes=args.cache_max_bytes,
-                           on_result=on_result)
+                           on_result=on_result,
+                           shm=getattr(args, "shm", None))
 
 
 def _cmd_run_experiment(args, out) -> int:
@@ -282,20 +314,34 @@ def _cmd_simpoint(args, out) -> int:
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
+    import os
+
     out = out or sys.stdout
     args = _build_parser().parse_args(argv)
-    if args.command == "list-benchmarks":
-        return _cmd_list_benchmarks(out)
-    if args.command == "list-experiments":
-        return _cmd_list_experiments(out)
-    if args.command == "simulate":
-        return _cmd_simulate(args, out)
-    if args.command == "run-experiment":
-        return _cmd_run_experiment(args, out)
-    if args.command == "sweep":
-        return _cmd_sweep(args, out)
-    if args.command == "cache":
-        return _cmd_cache(args, out)
-    if args.command == "simpoint":
-        return _cmd_simpoint(args, out)
-    raise AssertionError(f"unhandled command {args.command!r}")
+    # --checkpoint-every travels to (forked) workers via the
+    # environment; restore it afterwards so embedding callers that
+    # invoke main() repeatedly do not inherit stale checkpoint settings.
+    checkpoint_keys = ("REPRO_CHECKPOINT_EVERY", "REPRO_CHECKPOINT_DIR")
+    saved = {key: os.environ.get(key) for key in checkpoint_keys}
+    try:
+        if args.command == "list-benchmarks":
+            return _cmd_list_benchmarks(out)
+        if args.command == "list-experiments":
+            return _cmd_list_experiments(out)
+        if args.command == "simulate":
+            return _cmd_simulate(args, out)
+        if args.command == "run-experiment":
+            return _cmd_run_experiment(args, out)
+        if args.command == "sweep":
+            return _cmd_sweep(args, out)
+        if args.command == "cache":
+            return _cmd_cache(args, out)
+        if args.command == "simpoint":
+            return _cmd_simpoint(args, out)
+        raise AssertionError(f"unhandled command {args.command!r}")
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value

@@ -230,7 +230,14 @@ class RegressionTree:
         return self._n_features
 
     def predict(self, X) -> np.ndarray:
-        """Predict targets for rows of ``X``."""
+        """Predict targets for rows of ``X``.
+
+        Routing is batched per node: every row reaching a split is
+        partitioned with one vectorized comparison, so prediction costs
+        O(n_nodes) numpy operations instead of a Python loop over rows
+        — the explorer evaluates candidate batches of thousands of
+        configurations through this path.
+        """
         self._check_fitted()
         X = as_2d_float_array(X, name="X")
         if X.shape[1] != self._n_features:
@@ -238,11 +245,17 @@ class RegressionTree:
                 f"X has {X.shape[1]} features, tree was fitted with {self._n_features}"
             )
         out = np.empty(X.shape[0], dtype=float)
-        for i, row in enumerate(X):
-            node = self._root
-            while not node.is_leaf:
-                node = node.left if row[node.feature] <= node.threshold else node.right
-            out[i] = node.value
+        stack = [(self._root, np.arange(X.shape[0]))]
+        while stack:
+            node, rows = stack.pop()
+            if rows.size == 0:
+                continue
+            if node.is_leaf:
+                out[rows] = node.value
+                continue
+            goes_left = X[rows, node.feature] <= node.threshold
+            stack.append((node.left, rows[goes_left]))
+            stack.append((node.right, rows[~goes_left]))
         return out
 
     def nodes(self) -> Iterator[TreeNode]:

@@ -34,6 +34,10 @@ class DynamicsDataset:
         The sampled machine configurations.
     traces:
         Domain name -> array of shape ``(n_configs, n_samples)``.
+        Datasets assembled from a parallel sweep may hold **read-only
+        zero-copy views** into the engine's shared-memory arena (see
+        :mod:`repro.engine.shm`); call :meth:`materialize` for private
+        writable copies.
     """
 
     benchmark: str
@@ -76,6 +80,23 @@ class DynamicsDataset:
                 f"domain {name!r} not in dataset; have {sorted(self.traces)}"
             )
         return self.traces[name]
+
+    def materialize(self) -> "DynamicsDataset":
+        """A dataset whose trace matrices own their memory.
+
+        Traces assembled as zero-copy views keep the whole batch's
+        shared-memory arena alive; materializing copies them out so the
+        arena can be reclaimed (e.g. before stashing a dataset for the
+        rest of a long session).  Returns ``self`` when every matrix
+        already owns its data.
+        """
+        if all(arr.base is None for arr in self.traces.values()):
+            return self
+        return DynamicsDataset(
+            benchmark=self.benchmark, space=self.space,
+            configs=list(self.configs),
+            traces={d: np.array(arr) for d, arr in self.traces.items()},
+        )
 
     def subset(self, indices: Sequence[int]) -> "DynamicsDataset":
         """A new dataset restricted to the given configuration indices."""

@@ -36,6 +36,7 @@ from repro.dse.lhs import sample_test_configs, sample_train_configs
 from repro.dse.space import DesignSpace, paper_design_space
 from repro.engine.executor import ExecutionEngine
 from repro.engine.jobs import SimJob
+from repro.engine.shm import stack_rows
 from repro.uarch.params import MachineConfig
 from repro.uarch.simulator import DOMAINS, SimulationResult, Simulator
 from repro.workloads.phases import WorkloadModel
@@ -107,8 +108,11 @@ class SweepRunner:
     def _assemble(self, benchmark: str, configs: Sequence[MachineConfig],
                   results: Sequence[SimulationResult],
                   space: DesignSpace) -> DynamicsDataset:
+        # stack_rows returns zero-copy slices of the batch's
+        # shared-memory arena whenever a group's trace rows landed
+        # contiguously (every cold-cache sweep); otherwise it stacks.
         traces = {
-            d: (np.vstack([result.trace(d) for result in results])
+            d: (stack_rows([result.trace(d) for result in results])
                 if results else np.empty((0, self.n_samples)))
             for d in self.domains
         }

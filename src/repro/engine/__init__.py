@@ -10,7 +10,9 @@ goes through:
   :class:`~repro.engine.executor.ParallelExecutor` — in-process and
   process-pool batch execution behind one
   :class:`~repro.engine.executor.Executor` protocol, with deterministic
-  result ordering;
+  result ordering; the pool path ships results through a zero-copy
+  shared-memory arena (:mod:`repro.engine.shm`) and autotunes chunk
+  sizes per backend;
 * :class:`~repro.engine.cache.ResultCache` — npz-per-job disk tier plus
   an in-memory LRU front, keyed by job content hash, with a byte-capped
   mtime-LRU lifecycle (``gc`` / ``gc_versions`` / ``clear``);
@@ -44,6 +46,13 @@ from repro.engine.executor import (
     create_engine,
 )
 from repro.engine.jobs import KEY_VERSION, SimJob, make_jobs
+from repro.engine.shm import (
+    ArenaSpec,
+    ShmArena,
+    ShmResultDescriptor,
+    shm_from_env,
+    stack_rows,
+)
 
 __all__ = [
     "SimJob",
@@ -59,4 +68,9 @@ __all__ = [
     "ResultCache",
     "CacheStats",
     "create_engine",
+    "ArenaSpec",
+    "ShmArena",
+    "ShmResultDescriptor",
+    "shm_from_env",
+    "stack_rows",
 ]

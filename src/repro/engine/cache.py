@@ -148,7 +148,11 @@ class ResultCache:
     def _remember(self, key: str, result: SimulationResult) -> None:
         if self.memory_items == 0:
             return
-        self._memory[key] = result
+        # Arena-backed results are views into a whole batch's shared
+        # memory; storing them as-is would pin the arena for the LRU's
+        # lifetime.  detach() copies such results (and is a no-op for
+        # results that already own their arrays).
+        self._memory[key] = result.detach()
         self._memory.move_to_end(key)
         while len(self._memory) > self.memory_items:
             self._memory.popitem(last=False)
@@ -326,6 +330,9 @@ class ResultCache:
     # ------------------------------------------------------------------
     @staticmethod
     def _dump(path: Path, result: SimulationResult) -> None:
+        # Arena-backed results serialize straight from their
+        # shared-memory rows: npz writes each (contiguous) view without
+        # an intermediate copy or pickle pass.
         names, values, bools = _config_arrays(result.config)
         payload = {
             "benchmark": np.array(result.benchmark),

@@ -6,8 +6,17 @@ variant yielding ``(job_index, result)`` pairs in **completion order**.
 Because each :class:`~repro.engine.jobs.SimJob` is deterministic (the
 interval model seeds its measurement texture from the job content
 itself), the parallel, sequential and streaming paths produce
-bit-identical traces; ``tests/test_engine.py`` and
-``tests/test_streaming.py`` pin that property.
+bit-identical traces; ``tests/test_engine.py``,
+``tests/test_streaming.py`` and ``tests/test_shm_transport.py`` pin
+that property.
+
+:class:`ParallelExecutor` brings results home through a zero-copy
+shared-memory arena by default (:mod:`repro.engine.shm`): workers write
+trace rows straight into a preallocated per-batch block and only tiny
+descriptors cross the pool pipe.  It also autotunes chunk sizes per
+backend from measured per-job wall time — coarse chunks for
+sub-millisecond interval jobs, fine-grained ones for seconds-per-job
+detailed runs.
 
 :class:`ExecutionEngine` composes an executor with an optional
 :class:`~repro.engine.cache.ResultCache`: batch lookups first, duplicate
@@ -21,9 +30,9 @@ predictive models) while the tail of the batch is still simulating.
 from __future__ import annotations
 
 import os
+import time
 from collections import deque
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import as_completed as _as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import (
     Callable,
@@ -39,6 +48,7 @@ from typing import (
 from repro.errors import EngineError
 from repro.engine.cache import ResultCache
 from repro.engine.jobs import SimJob
+from repro.engine.shm import ArenaSpec, ShmArena, shm_from_env, write_results
 from repro.uarch.simulator import SimulationResult
 
 #: Signature of per-result progress callbacks:
@@ -57,6 +67,25 @@ class Executor(Protocol):
 def _run_chunk(jobs: Sequence[SimJob]) -> List[SimulationResult]:
     """Worker entry point (module-level so it pickles)."""
     return [job.run() for job in jobs]
+
+
+def _run_chunk_transport(jobs: Sequence[SimJob],
+                         spec: Optional[ArenaSpec],
+                         rows: Sequence[int]):
+    """Pool worker entry: run a chunk, ship results, report wall time.
+
+    With an arena ``spec`` the trace/component arrays are written
+    straight into shared memory and only tiny descriptors return over
+    the pipe; without one the results themselves are returned (the
+    pickle transport).  The measured seconds cover simulation only —
+    the autotuner uses them to size subsequent chunks per backend.
+    """
+    start = time.perf_counter()
+    results = [job.run() for job in jobs]
+    elapsed = time.perf_counter() - start
+    if spec is None:
+        return results, elapsed
+    return write_results(spec, rows, results), elapsed
 
 
 def _sequential_stream(jobs: Sequence[SimJob],
@@ -89,10 +118,19 @@ class LocalExecutor:
         return _drain()
 
 
+#: Chunk size used to probe a backend whose per-job cost is unknown yet.
+PROBE_CHUNK_SIZE = 4
+
+#: Wall-clock seconds one chunk should take once a backend is tuned:
+#: long enough to amortize IPC, short enough that ``as_completed``
+#: streaming stays responsive even for seconds-per-job detailed runs.
+DEFAULT_TARGET_CHUNK_SECONDS = 0.25
+
+
 class ParallelExecutor:
     """Fans job batches out over a process pool.
 
-    Jobs are grouped into contiguous chunks (amortizing pickle and IPC
+    Jobs are grouped into contiguous chunks (amortizing per-chunk IPC
     overhead over many sub-millisecond interval simulations) and
     submitted to a :class:`~concurrent.futures.ProcessPoolExecutor`.
     ``run_batch`` stitches the chunks back together by chunk index — so
@@ -101,17 +139,47 @@ class ParallelExecutor:
     completes, letting consumers overlap analysis with the simulation
     tail.
 
+    Two transports bring results home, bit-identically:
+
+    * **shared memory** (default): the batch preallocates a
+      :class:`~repro.engine.shm.ShmArena`; workers write trace rows
+      directly into it and only tiny descriptors cross the pipe;
+    * **pickle** (``shm=False``, ``REPRO_SHM=0``, or when shared
+      memory is unavailable): whole results return through the pipe.
+
+    Without an explicit ``chunk_size`` an **autotuner** sizes chunks
+    per backend: every completed chunk updates a per-job wall-time
+    estimate (exponential moving average, persisted across batches),
+    and once a backend is timed its chunks target
+    ``target_chunk_seconds`` of work each — interval jobs stay
+    coarse-chunked while seconds-per-job detailed jobs go fine-grained,
+    keeping the completion stream responsive.  A backend's very first
+    batch starts with a small probe wave plus worker-count-heuristic
+    chunks (everything still dispatched eagerly at submit time).
+
     Parameters
     ----------
     max_workers:
         Worker processes; defaults to the machine's CPU count.
     chunk_size:
-        Jobs per submitted chunk; by default sized so each worker gets
-        about four chunks (load balancing without excessive IPC).
+        Fixed jobs-per-chunk; disables the autotuner.  By default the
+        autotuner chooses per-backend sizes.
+    shm:
+        Shared-memory result transport; ``None`` consults ``REPRO_SHM``
+        (default on).  Falls back to pickling when the platform lacks
+        shared memory.
+    autotune:
+        Force the chunk autotuner on/off; default: on exactly when
+        ``chunk_size`` is not given.
+    target_chunk_seconds:
+        Autotuner's per-chunk wall-time target.
     """
 
     def __init__(self, max_workers: Optional[int] = None,
-                 chunk_size: Optional[int] = None):
+                 chunk_size: Optional[int] = None,
+                 shm: Optional[bool] = None,
+                 autotune: Optional[bool] = None,
+                 target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS):
         if max_workers is not None and max_workers < 1:
             raise EngineError(
                 f"max_workers must be >= 1, got {max_workers}"
@@ -120,8 +188,21 @@ class ParallelExecutor:
             raise EngineError(
                 f"chunk_size must be >= 1, got {chunk_size}"
             )
+        if target_chunk_seconds <= 0:
+            raise EngineError(
+                f"target_chunk_seconds must be > 0, got {target_chunk_seconds}"
+            )
         self.max_workers = max_workers or os.cpu_count() or 1
         self.chunk_size = chunk_size
+        self.shm = shm_from_env() if shm is None else bool(shm)
+        self.autotune = (chunk_size is None) if autotune is None else autotune
+        self.target_chunk_seconds = target_chunk_seconds
+        #: Last batch's arena (``None`` for pickle transport); exposed
+        #: for lifecycle tests and benchmarks.  Intentionally retained
+        #: until the next batch (or :meth:`close`): the reference keeps
+        #: only the latest mapping alive, bounded by one batch's size.
+        self.last_arena: Optional[ShmArena] = None
+        self._tuned: Dict[str, float] = {}  # backend -> per-job seconds
         self._pool: Optional[ProcessPoolExecutor] = None
 
     def _get_pool(self) -> ProcessPoolExecutor:
@@ -132,11 +213,19 @@ class ParallelExecutor:
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
         return self._pool
 
-    def close(self) -> None:
-        """Shut the worker pool down (a later run_batch restarts it)."""
+    def _close_pool(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    def close(self) -> None:
+        """Shut the worker pool down (a later run_batch restarts it).
+
+        Also drops the executor's reference to the last batch's arena;
+        result views keep their own memory alive regardless.
+        """
+        self.last_arena = None
+        self._close_pool()
 
     def __del__(self):
         try:
@@ -150,49 +239,106 @@ class ParallelExecutor:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def _chunks(self, jobs: Sequence[SimJob]) -> List[Sequence[SimJob]]:
-        size = self.chunk_size
-        if size is None:
-            size = max(1, -(-len(jobs) // (self.max_workers * 4)))
-        return [jobs[i:i + size] for i in range(0, len(jobs), size)]
+    def planned_chunk_size(self, backend: str, n_jobs: int) -> int:
+        """Jobs per chunk for ``backend`` in a batch of ``n_jobs``.
+
+        Fixed ``chunk_size`` wins; otherwise a tuned backend targets
+        ``target_chunk_seconds`` of measured work per chunk (capped so
+        every worker still gets a chunk) and an untuned backend gets a
+        small probe chunk so its first timing lands quickly.
+        """
+        if self.chunk_size is not None:
+            return self.chunk_size
+        default = max(1, -(-n_jobs // (self.max_workers * 4)))
+        if not self.autotune:
+            return default
+        per_job = self._tuned.get(backend)
+        if per_job is None:
+            return min(default, PROBE_CHUNK_SIZE)
+        per_job = max(per_job, 1e-7)
+        upper = max(1, -(-n_jobs // self.max_workers))
+        return max(1, min(int(self.target_chunk_seconds / per_job), upper))
+
+    def _record_timing(self, backend: str, per_job: float) -> None:
+        old = self._tuned.get(backend)
+        self._tuned[backend] = per_job if old is None else 0.5 * (old + per_job)
 
     def submit_batch(self, jobs: Sequence[SimJob],
                      ) -> Iterator[Tuple[int, SimulationResult]]:
-        """Submit every chunk now; stream results in completion order.
+        """Submit the batch now; stream results in completion order.
 
-        The futures are dispatched eagerly — the pool starts working the
+        Futures are dispatched eagerly — the pool starts working the
         moment this method is called, before the returned iterator is
         first pulled — so consumer-side work genuinely overlaps the
-        remaining simulations.
+        remaining simulations.  When a backend has no timing yet, the
+        first ``max_workers`` chunks are small probes and the rest use
+        the worker-count heuristic; the measured timings right-size
+        every later batch.
         """
         jobs = list(jobs)
         if not jobs:
             return iter(())
         if self.max_workers == 1 or len(jobs) == 1:
+            self.last_arena = None  # no transport: drop any stale arena
             return _sequential_stream(jobs)
-        chunks = self._chunks(jobs)
         pool = self._get_pool()
+        arena = ShmArena.create(jobs) if self.shm else None
+        self.last_arena = arena
+        spec = arena.spec if arena is not None else None
+        n = len(jobs)
+        default_size = max(1, -(-n // (self.max_workers * 4)))
         futures: Dict = {}
-        offset = 0
-        for chunk in chunks:
-            futures[pool.submit(_run_chunk, chunk)] = offset
-            offset += len(chunk)
+        cursor = 0  # index of the first unsubmitted job
+        while cursor < n:
+            start = cursor
+            backend = jobs[start].backend
+            if self.chunk_size is not None or not self.autotune:
+                size = self.chunk_size or default_size
+            elif backend in self._tuned:
+                size = self.planned_chunk_size(backend, n)
+            elif len(futures) < self.max_workers:
+                size = min(default_size, PROBE_CHUNK_SIZE)  # probe wave
+            else:
+                size = default_size  # untimed tail: eager, pre-tuning size
+            stop = min(n, start + size)
+            for j in range(start + 1, stop):
+                if jobs[j].backend != backend:
+                    stop = j  # keep chunks backend-homogeneous
+                    break
+            cursor = stop
+            future = pool.submit(_run_chunk_transport, jobs[start:stop],
+                                 spec, list(range(start, stop)))
+            futures[future] = start
 
         def _drain() -> Iterator[Tuple[int, SimulationResult]]:
             try:
-                for future in _as_completed(futures):
-                    try:
-                        chunk_results = future.result()
-                    except BrokenProcessPool:
-                        self.close()  # a dead pool cannot serve the next batch
-                        raise
-                    start = futures[future]
-                    for j, result in enumerate(chunk_results):
-                        yield start + j, result
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(pending,
+                                         return_when=FIRST_COMPLETED)
+                    for future in done:
+                        try:
+                            payload, elapsed = future.result()
+                        except BrokenProcessPool:
+                            # A dead pool cannot serve the next batch;
+                            # keep last_arena for post-mortem inspection.
+                            self._close_pool()
+                            raise
+                        start = futures[future]
+                        if payload and self.autotune:
+                            self._record_timing(jobs[start].backend,
+                                                elapsed / len(payload))
+                        for j, item in enumerate(payload):
+                            if arena is not None:
+                                item = arena.materialize(item)
+                            yield start + j, item
             finally:
-                # On error or early consumer exit, drop what never ran.
+                # On error or early consumer exit, drop what never ran
+                # and remove the arena's name; views stay valid.
                 for future in futures:
                     future.cancel()
+                if arena is not None:
+                    arena.unlink()
 
         return _drain()
 
@@ -399,6 +545,7 @@ def create_engine(jobs: Optional[int] = None,
                   memory_items: int = 512,
                   cache_max_bytes: Optional[int] = None,
                   on_result: Optional[ResultCallback] = None,
+                  shm: Optional[bool] = None,
                   ) -> ExecutionEngine:
     """Build an engine from the user-facing knobs.
 
@@ -419,12 +566,15 @@ def create_engine(jobs: Optional[int] = None,
     on_result:
         Engine-wide per-job progress callback (see
         :class:`ExecutionEngine`).
+    shm:
+        Shared-memory result transport for the parallel executor;
+        ``None`` consults ``REPRO_SHM`` (default on).
     """
     if jobs is not None and jobs < 1:
         raise EngineError(f"jobs must be >= 1, got {jobs}")
     executor: Executor
     if jobs is not None and jobs > 1:
-        executor = ParallelExecutor(max_workers=jobs)
+        executor = ParallelExecutor(max_workers=jobs, shm=shm)
     else:
         executor = LocalExecutor()
     cache = None

@@ -143,14 +143,33 @@ class SimJob:
         Returns a :class:`~repro.uarch.simulator.SimulationResult`.
         Imported lazily so job objects stay cheap to pickle into worker
         processes.
+
+        Detailed jobs honour the ``REPRO_CHECKPOINT_EVERY`` /
+        ``REPRO_CHECKPOINT_DIR`` environment: mid-run snapshots are
+        written under a file named by this job's content-hash key, so a
+        killed sweep resumes each job from its last checkpoint — in any
+        process, on any executor — instead of restarting it.
         """
         from repro.uarch.simulator import Simulator
 
         simulator = Simulator(backend=self.backend, noise=self.noise)
         workload = self.workload if self.workload is not None else self.benchmark
+        kwargs = {}
+        if self.backend == "detailed":
+            from pathlib import Path
+
+            from repro.uarch.detailed import checkpoint_settings_from_env
+
+            every, directory = checkpoint_settings_from_env()
+            if every:
+                kwargs = dict(
+                    checkpoint_every=every,
+                    checkpoint_path=Path(directory) / f"{self.key()}.ckpt.npz",
+                )
         return simulator.run(
             workload, self.config, n_samples=self.n_samples,
             instructions_per_sample=self.instructions_per_sample,
+            **kwargs,
         )
 
 

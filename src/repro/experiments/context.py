@@ -83,15 +83,17 @@ class Scale:
 def engine_from_env(jobs: Optional[int] = None,
                     cache_dir=None,
                     cache_max_bytes: Optional[int] = None,
-                    on_result=None) -> ExecutionEngine:
+                    on_result=None,
+                    shm: Optional[bool] = None) -> ExecutionEngine:
     """Build an engine from environment knobs, with optional overrides.
 
     ``REPRO_JOBS`` selects the worker-process count (parallel sweep
     execution when > 1), ``REPRO_CACHE_DIR`` enables the on-disk result
-    cache, and ``REPRO_CACHE_MAX_BYTES`` caps its size (mtime-LRU
-    eviction).  Explicit arguments (the CLI's ``--jobs`` /
-    ``--cache-dir`` / ``--cache-max-bytes`` flags) take precedence over
-    the environment.
+    cache, ``REPRO_CACHE_MAX_BYTES`` caps its size (mtime-LRU
+    eviction), and ``REPRO_SHM`` toggles the zero-copy shared-memory
+    result transport (default on).  Explicit arguments (the CLI's
+    ``--jobs`` / ``--cache-dir`` / ``--cache-max-bytes`` / ``--shm``
+    flags) take precedence over the environment.
     """
     if jobs is None:
         jobs_env = os.environ.get("REPRO_JOBS", "").strip()
@@ -113,7 +115,7 @@ def engine_from_env(jobs: Optional[int] = None,
             )
     return create_engine(jobs=jobs, cache_dir=cache_dir,
                          cache_max_bytes=cache_max_bytes,
-                         on_result=on_result)
+                         on_result=on_result, shm=shm)
 
 
 class ExperimentContext:

@@ -8,6 +8,8 @@ with every configuration through the misprediction penalty.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.errors import ConfigurationError
@@ -64,7 +66,12 @@ class GsharePredictor:
 
 
 class BranchTargetBuffer:
-    """Direct-mapped-by-set BTB; misses on taken branches cost a bubble."""
+    """Set-associative BTB; misses on taken branches cost a bubble.
+
+    Like :class:`~repro.uarch.caches.SetAssociativeCache`, each set is
+    an LRU-ordered dict — one hash lookup per taken branch instead of a
+    scan over the ways, with an identical hit/miss stream.
+    """
 
     def __init__(self, entries: int = 2048, assoc: int = 4):
         if entries <= 0 or entries % assoc:
@@ -74,25 +81,21 @@ class BranchTargetBuffer:
             )
         self.n_sets = entries // assoc
         self.assoc = assoc
-        self._tags = np.full((self.n_sets, assoc), -1, dtype=np.int64)
-        self._lru = np.zeros((self.n_sets, assoc), dtype=np.int64)
-        self._clock = 0
+        self._sets = [OrderedDict() for _ in range(self.n_sets)]
         self.hits = 0
         self.misses = 0
 
     def access(self, pc: int) -> bool:
         """Look up (and allocate) the target entry for a taken branch."""
-        set_idx = (pc >> 2) % self.n_sets
         tag = pc >> 2
-        self._clock += 1
-        for way in range(self.assoc):
-            if self._tags[set_idx, way] == tag:
-                self._lru[set_idx, way] = self._clock
-                self.hits += 1
-                return True
-        victim = int(np.argmin(self._lru[set_idx]))
-        self._tags[set_idx, victim] = tag
-        self._lru[set_idx, victim] = self._clock
+        ways = self._sets[tag % self.n_sets]
+        if tag in ways:
+            ways.move_to_end(tag)
+            self.hits += 1
+            return True
+        if len(ways) >= self.assoc:
+            ways.popitem(last=False)
+        ways[tag] = None
         self.misses += 1
         return False
 

@@ -4,14 +4,20 @@ True LRU replacement, physically-indexed, with a two-level hierarchy
 helper (:class:`CacheHierarchy`) returning load-to-use latencies the
 pipeline charges to each access.  An analytical miss-curve counterpart
 for sweeps lives in :mod:`repro.uarch.interval_model`.
+
+Each set is an :class:`~collections.OrderedDict` in LRU order (oldest
+first), so an access is one hash lookup plus a recency move — O(1) per
+instruction — instead of a linear scan over the ways.  The detailed
+backend charges every load, store and fetch through here, so that
+constant factor is the hot path of the whole cycle-level simulator.
+The hit/miss stream is exactly that of a per-way true-LRU scan.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Tuple
-
-import numpy as np
+from typing import List, Tuple
 
 from repro.errors import ConfigurationError
 from repro._validation import is_power_of_two
@@ -57,37 +63,33 @@ class SetAssociativeCache:
         self.n_sets = n_sets
         self._set_mask = n_sets - 1
         self._line_shift = line_bytes.bit_length() - 1
-        # tags[set, way]; -1 = invalid.  lru[set, way]: higher = newer.
-        self._tags = np.full((n_sets, assoc), -1, dtype=np.int64)
-        self._lru = np.zeros((n_sets, assoc), dtype=np.int64)
-        self._clock = 0
+        # One ordered dict per set, keyed by full line id (sets are
+        # distinguished by index), oldest-used entry first.
+        self._sets: List["OrderedDict[int, None]"] = [
+            OrderedDict() for _ in range(n_sets)
+        ]
         self.hits = 0
         self.misses = 0
 
     def access(self, address: int) -> bool:
         """Access a byte address; returns True on hit.  Fills on miss."""
         line = address >> self._line_shift
-        set_idx = line & self._set_mask
-        tag = line >> 0  # full line id as tag (sets distinguished by index)
-        self._clock += 1
-        tags = self._tags[set_idx]
-        for way in range(self.assoc):
-            if tags[way] == tag:
-                self._lru[set_idx, way] = self._clock
-                self.hits += 1
-                return True
-        # Miss: fill LRU way.
-        victim = int(np.argmin(self._lru[set_idx]))
-        self._tags[set_idx, victim] = tag
-        self._lru[set_idx, victim] = self._clock
+        ways = self._sets[line & self._set_mask]
+        if line in ways:
+            ways.move_to_end(line)
+            self.hits += 1
+            return True
+        # Miss: evict the least-recently-used way when the set is full.
+        if len(ways) >= self.assoc:
+            ways.popitem(last=False)
+        ways[line] = None
         self.misses += 1
         return False
 
     def contains(self, address: int) -> bool:
         """Non-mutating lookup (no fill, no LRU update)."""
         line = address >> self._line_shift
-        set_idx = line & self._set_mask
-        return bool(np.any(self._tags[set_idx] == line))
+        return line in self._sets[line & self._set_mask]
 
     @property
     def accesses(self) -> int:
@@ -115,23 +117,20 @@ class TLB:
         self.name = name
         self.entries = entries
         self._page_shift = page_bytes.bit_length() - 1
-        self._resident = {}
-        self._clock = 0
+        self._resident: "OrderedDict[int, None]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
     def access(self, address: int) -> bool:
         """Translate an address; returns True on TLB hit."""
         page = address >> self._page_shift
-        self._clock += 1
         if page in self._resident:
-            self._resident[page] = self._clock
+            self._resident.move_to_end(page)
             self.hits += 1
             return True
         if len(self._resident) >= self.entries:
-            oldest = min(self._resident, key=self._resident.get)
-            del self._resident[oldest]
-        self._resident[page] = self._clock
+            self._resident.popitem(last=False)
+        self._resident[page] = None
         self.misses += 1
         return False
 

@@ -5,11 +5,29 @@ synthesized instruction stream, producing the same per-interval
 CPI / power / AVF / IQ-AVF traces as the interval backend — the ground
 truth used for mechanism studies (the DVM case study) and for validating
 the interval model's first-order equations.
+
+Detailed jobs cost seconds each (the engine's dominant expense), so
+:meth:`DetailedSimulator.run` supports **per-interval checkpointing**:
+every ``checkpoint_every`` intervals it atomically snapshots the core's
+full microarchitectural state (caches, predictor, DVM controller, the
+cross-interval dependence window) plus the traces measured so far into
+an ``.npz`` file.  A re-run with the same arguments resumes from the
+snapshot and produces a **bit-identical**
+:class:`~repro.uarch.simulator.SimulationResult` — a killed sweep
+restarts mid-benchmark instead of from scratch.  The engine keys
+checkpoint files by job content hash under the cache directory (see
+:func:`checkpoint_settings_from_env` and
+:meth:`repro.engine.jobs.SimJob.run`).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
@@ -21,6 +39,114 @@ from repro.uarch.params import MachineConfig
 from repro.workloads.generator import synthesize_interval
 from repro.workloads.phases import WorkloadModel
 from repro.workloads.spec2000 import get_benchmark
+
+#: Bump when checkpoint contents change incompatibly: old snapshots are
+#: then ignored (and deleted) instead of mis-resumed.
+CHECKPOINT_VERSION = "ckpt/v1"
+
+#: Trace arrays a snapshot carries, in a fixed order.
+_TRACE_FIELDS = ("cpi", "power", "avf", "iq_avf", "mispredicts", "throttled")
+
+
+def checkpoint_settings_from_env() -> Tuple[int, Optional[str]]:
+    """The ``(checkpoint_every, checkpoint_dir)`` environment knobs.
+
+    ``REPRO_CHECKPOINT_EVERY`` (intervals between snapshots; unset or
+    ``<= 0`` disables checkpointing) and ``REPRO_CHECKPOINT_DIR``
+    (defaulting to ``$REPRO_CACHE_DIR/checkpoints`` when a cache
+    directory is configured, else ``.repro-checkpoints``).  Read by
+    :meth:`repro.engine.jobs.SimJob.run` in every worker process, so
+    the CLI's ``--checkpoint-every`` flag only has to export them.
+    """
+    raw = os.environ.get("REPRO_CHECKPOINT_EVERY", "").strip()
+    if not raw:
+        return 0, None
+    try:
+        every = int(raw)
+    except ValueError:
+        raise SimulationError(
+            f"REPRO_CHECKPOINT_EVERY must be an integer, got {raw!r}"
+        )
+    if every <= 0:
+        return 0, None
+    directory = os.environ.get("REPRO_CHECKPOINT_DIR", "").strip()
+    if not directory:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip()
+        directory = (str(Path(cache_dir) / "checkpoints") if cache_dir
+                     else ".repro-checkpoints")
+    return every, directory
+
+
+def _checkpoint_meta(workload: WorkloadModel, config: MachineConfig,
+                     n_samples: int, instructions_per_sample: int,
+                     warmup: bool,
+                     dvm_controller: Optional[DVMController]) -> str:
+    """Digest identifying which run a snapshot belongs to.
+
+    A snapshot resumed under any different argument would silently
+    produce wrong traces; the digest makes such mismatches detectable
+    (stale files are ignored and deleted).  The workload and any DVM
+    policy participate by *content*, not name, so editing a custom
+    :class:`WorkloadModel` — or overriding ``dvm_policy`` — between
+    runs invalidates old snapshots too.
+    """
+    from repro.engine.jobs import _canonical
+
+    policy = _canonical(dvm_controller.policy) if dvm_controller else None
+    parts = (CHECKPOINT_VERSION, _canonical(workload), n_samples,
+             instructions_per_sample, bool(warmup), config.key(), policy)
+    return hashlib.sha256(repr(parts).encode("utf8")).hexdigest()
+
+
+def _save_checkpoint(path: Path, meta: str, next_interval: int,
+                     core, traces) -> None:
+    """Atomically snapshot ``core`` + measured traces (tmp + replace)."""
+    state = np.frombuffer(pickle.dumps(core), dtype=np.uint8)
+    payload = {"meta": np.array(meta), "next": np.array(next_interval),
+               "core": state}
+    for name, arr in zip(_TRACE_FIELDS, traces):
+        payload[name] = arr[:next_interval]
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=path.stem,
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **payload)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def _load_checkpoint(path: Path, meta: str, n_samples: int):
+    """``(core, traces, next_interval)`` from a snapshot, or ``None``.
+
+    Corrupt, stale-version, or wrong-run snapshots are deleted and
+    treated as absent — the run then starts from interval 0.
+    """
+    if not path.exists():
+        return None
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if str(data["meta"]) != meta:
+                raise ValueError("checkpoint belongs to a different run")
+            next_interval = int(data["next"])
+            if not 0 < next_interval < n_samples:
+                raise ValueError("checkpoint interval out of range")
+            traces = []
+            for name in _TRACE_FIELDS:
+                arr = np.empty(n_samples)
+                arr[:next_interval] = data[name]
+                traces.append(arr)
+            core = pickle.loads(data["core"].tobytes())
+        return core, traces, next_interval
+    except Exception:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
 
 
 class DetailedSimulator:
@@ -46,12 +172,21 @@ class DetailedSimulator:
             self.dvm_controller = None
 
     def run(self, workload: Union[str, WorkloadModel], n_samples: int = 64,
-            instructions_per_sample: int = 1000, warmup: bool = True):
+            instructions_per_sample: int = 1000, warmup: bool = True,
+            checkpoint_every: Optional[int] = None,
+            checkpoint_path=None):
         """Simulate ``n_samples`` intervals and assemble the result.
 
         With ``warmup=True`` an extra unmeasured copy of the first
         interval is simulated first, standing in for the paper's
         fast-forward to the SimPoint region (caches and predictor warm).
+
+        With ``checkpoint_every`` and ``checkpoint_path`` set, the full
+        simulation state is snapshotted every ``checkpoint_every``
+        measured intervals; a matching snapshot found at
+        ``checkpoint_path`` resumes the run mid-benchmark, bit-identical
+        to an uninterrupted one.  The snapshot is removed once the run
+        completes.
 
         Returns a :class:`~repro.uarch.simulator.SimulationResult`
         (imported lazily to avoid a module cycle).
@@ -65,24 +200,40 @@ class DetailedSimulator:
             raise SimulationError(
                 "n_samples and instructions_per_sample must be >= 1"
             )
+        checkpointing = (checkpoint_path is not None
+                         and checkpoint_every is not None
+                         and checkpoint_every > 0)
+        if checkpointing:
+            checkpoint_path = Path(checkpoint_path)
+            meta = _checkpoint_meta(workload, self.config, n_samples,
+                                    instructions_per_sample, warmup,
+                                    self.dvm_controller)
 
-        core = OutOfOrderCore(self.config, dvm=self.dvm_controller)
-        if warmup:
-            core.run_interval(
-                synthesize_interval(workload, 0, n_samples,
-                                    instructions_per_sample, seed=1)
-            )
+        start_interval = 0
+        core = None
+        if checkpointing:
+            resumed = _load_checkpoint(checkpoint_path, meta, n_samples)
+            if resumed is not None:
+                core, traces, start_interval = resumed
+                (cpi, power, avf, iq_avf, mispredicts, throttled) = traces
+        if core is None:
+            core = OutOfOrderCore(self.config, dvm=self.dvm_controller)
+            if warmup:
+                core.run_interval(
+                    synthesize_interval(workload, 0, n_samples,
+                                        instructions_per_sample, seed=1)
+                )
+            cpi = np.empty(n_samples)
+            power = np.empty(n_samples)
+            avf = np.empty(n_samples)
+            iq_avf = np.empty(n_samples)
+            mispredicts = np.empty(n_samples)
+            throttled = np.empty(n_samples)
+
         power_model = WattchModel(self.config)
         avf_model = AVFModel(self.config)
 
-        cpi = np.empty(n_samples)
-        power = np.empty(n_samples)
-        avf = np.empty(n_samples)
-        iq_avf = np.empty(n_samples)
-        mispredicts = np.empty(n_samples)
-        throttled = np.empty(n_samples)
-
-        for i in range(n_samples):
+        for i in range(start_interval, n_samples):
             trace = synthesize_interval(workload, i, n_samples,
                                         instructions_per_sample)
             stats = core.run_interval(trace)
@@ -95,6 +246,17 @@ class DetailedSimulator:
             iq_avf[i] = structure_avf["iq"]
             mispredicts[i] = stats.branch_mispredicts / stats.instructions
             throttled[i] = stats.dvm_throttled_cycles / stats.cycles
+            if (checkpointing and (i + 1) % checkpoint_every == 0
+                    and i + 1 < n_samples):
+                _save_checkpoint(checkpoint_path, meta, i + 1, core,
+                                 (cpi, power, avf, iq_avf, mispredicts,
+                                  throttled))
+
+        if checkpointing:
+            try:
+                checkpoint_path.unlink()  # the run completed; snapshot stale
+            except OSError:
+                pass
 
         return SimulationResult(
             benchmark=workload.name,

@@ -63,6 +63,26 @@ class SimulationResult:
         """Whole-run mean of a domain (what global models predict)."""
         return float(np.mean(self.trace(domain)))
 
+    def detach(self) -> "SimulationResult":
+        """A result whose arrays own their memory.
+
+        Results delivered over the shared-memory transport
+        (:mod:`repro.engine.shm`) hold read-only views into a
+        batch-wide arena; detaching copies them into private, writable
+        arrays so the arena can be reclaimed (and so long-lived stores
+        such as the in-memory result cache never pin a whole batch).
+        Results that already own their arrays are returned unchanged.
+        """
+        arrays = list(self.traces.values()) + list(self.components.values())
+        if all(arr.base is None for arr in arrays):
+            return self
+        return SimulationResult(
+            benchmark=self.benchmark, config=self.config,
+            n_samples=self.n_samples, backend=self.backend,
+            traces={d: np.array(a) for d, a in self.traces.items()},
+            components={d: np.array(a) for d, a in self.components.items()},
+        )
+
 
 class Simulator:
     """Runs workloads over machine configurations.
@@ -95,7 +115,9 @@ class Simulator:
 
     def run(self, workload: Union[str, WorkloadModel], config: MachineConfig,
             n_samples: int = 128,
-            instructions_per_sample: int = 1000) -> SimulationResult:
+            instructions_per_sample: int = 1000,
+            checkpoint_every: Optional[int] = None,
+            checkpoint_path=None) -> SimulationResult:
         """Simulate one (workload, configuration) pair.
 
         Parameters
@@ -110,6 +132,12 @@ class Simulator:
             Detailed backend only: synthetic instructions simulated per
             trace interval (the paper uses 200M/128 per interval; the
             synthetic traces need far fewer for stable statistics).
+        checkpoint_every, checkpoint_path:
+            Detailed backend only: periodic mid-run snapshots enabling
+            bit-identical resume after a crash (see
+            :meth:`repro.uarch.detailed.DetailedSimulator.run`).
+            Ignored by the interval backend, whose runs are too cheap
+            to checkpoint.
         """
         if isinstance(workload, str):
             workload = get_benchmark(workload)
@@ -129,7 +157,9 @@ class Simulator:
 
         detailed = DetailedSimulator(config)
         return detailed.run(workload, n_samples=n_samples,
-                            instructions_per_sample=instructions_per_sample)
+                            instructions_per_sample=instructions_per_sample,
+                            checkpoint_every=checkpoint_every,
+                            checkpoint_path=checkpoint_path)
 
     # ------------------------------------------------------------------
     def jobs(self, workload: Union[str, WorkloadModel],

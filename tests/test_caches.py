@@ -152,3 +152,91 @@ class TestHierarchy:
         assert r.goes_to_memory
         r2 = AccessResult(latency=5, dl1_hit=False, l2_hit=True)
         assert not r2.goes_to_memory
+
+
+class TestLruEquivalence:
+    """The O(1) ordered-dict sets must reproduce a reference per-way
+    true-LRU scan's hit/miss stream exactly (the detailed backend's
+    results are pinned on it)."""
+
+    @staticmethod
+    def _reference_stream(addresses, n_sets, assoc, line_shift):
+        sets = [[] for _ in range(n_sets)]  # MRU last
+        stream = []
+        for address in addresses:
+            line = address >> line_shift
+            ways = sets[line & (n_sets - 1)]
+            if line in ways:
+                ways.remove(line)
+                ways.append(line)
+                stream.append(True)
+            else:
+                if len(ways) >= assoc:
+                    ways.pop(0)
+                ways.append(line)
+                stream.append(False)
+        return stream
+
+    def test_cache_access_matches_reference_lru(self):
+        cache = SetAssociativeCache(size_kb=1, assoc=2, line_bytes=32)
+        rng = np.random.default_rng(5)
+        addresses = [int(a) for a in rng.integers(0, 1 << 14, size=4000)]
+        expected = self._reference_stream(addresses, cache.n_sets,
+                                          cache.assoc, 5)
+        observed = [cache.access(a) for a in addresses]
+        assert observed == expected
+        assert cache.hits == sum(expected)
+        assert cache.misses == len(expected) - sum(expected)
+
+    def test_btb_access_matches_reference_lru(self):
+        from repro.uarch.branch import BranchTargetBuffer
+
+        btb = BranchTargetBuffer(entries=64, assoc=4)
+        rng = np.random.default_rng(6)
+        pcs = [int(a) * 4 for a in rng.integers(0, 256, size=3000)]
+        sets = [[] for _ in range(btb.n_sets)]
+        expected = []
+        for pc in pcs:
+            tag = pc >> 2
+            ways = sets[tag % btb.n_sets]
+            if tag in ways:
+                ways.remove(tag)
+                ways.append(tag)
+                expected.append(True)
+            else:
+                if len(ways) >= btb.assoc:
+                    ways.pop(0)
+                ways.append(tag)
+                expected.append(False)
+        assert [btb.access(pc) for pc in pcs] == expected
+
+    def test_tlb_access_matches_reference_lru(self):
+        tlb = TLB(entries=8)
+        rng = np.random.default_rng(7)
+        pages = [int(p) << 12 for p in rng.integers(0, 24, size=2000)]
+        resident = []
+        expected = []
+        for address in pages:
+            page = address >> 12
+            if page in resident:
+                resident.remove(page)
+                resident.append(page)
+                expected.append(True)
+            else:
+                if len(resident) >= 8:
+                    resident.pop(0)
+                resident.append(page)
+                expected.append(False)
+        assert [tlb.access(a) for a in pages] == expected
+
+    def test_cache_state_pickles_for_checkpointing(self):
+        import pickle
+
+        cache = SetAssociativeCache(size_kb=1, assoc=2, line_bytes=32)
+        for a in range(0, 4096, 32):
+            cache.access(a)
+        clone = pickle.loads(pickle.dumps(cache))
+        probe = [int(a) for a in
+                 np.random.default_rng(8).integers(0, 1 << 13, size=500)]
+        assert [cache.access(a) for a in probe] == \
+            [clone.access(a) for a in probe]

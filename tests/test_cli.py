@@ -69,3 +69,74 @@ class TestOtherCommands:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestEngineFlags:
+    def test_no_shm_sweep(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        code, text = _run(["sweep", "gcc", "--n-train", "2", "--n-test", "1",
+                           "--samples", "64", "--no-shm"])
+        assert code == 0
+        assert "3 simulations" in text
+
+    def test_shm_parallel_sweep(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        code, text = _run(["sweep", "gcc", "--n-train", "4", "--n-test", "2",
+                           "--samples", "64", "--jobs", "2", "--shm"])
+        assert code == 0
+        assert "2 worker(s)" in text
+
+    def test_checkpoint_every_exports_env(self, monkeypatch, tmp_path):
+        import argparse
+        import os
+
+        from repro.cli import _make_engine
+
+        monkeypatch.delenv("REPRO_CHECKPOINT_EVERY", raising=False)
+        monkeypatch.delenv("REPRO_CHECKPOINT_DIR", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        args = argparse.Namespace(
+            jobs=None, cache_dir=str(tmp_path / "cache"),
+            cache_max_bytes=None, progress=False, shm=None,
+            checkpoint_every=5,
+        )
+        _make_engine(args)
+        # Workers (forked after engine creation) read these in SimJob.run.
+        assert os.environ["REPRO_CHECKPOINT_EVERY"] == "5"
+        assert os.environ["REPRO_CHECKPOINT_DIR"].endswith("checkpoints")
+        monkeypatch.delenv("REPRO_CHECKPOINT_EVERY")
+        monkeypatch.delenv("REPRO_CHECKPOINT_DIR")
+
+    def test_checkpoint_env_restored_after_main(self, monkeypatch, tmp_path):
+        import os
+
+        monkeypatch.delenv("REPRO_CHECKPOINT_EVERY", raising=False)
+        monkeypatch.delenv("REPRO_CHECKPOINT_DIR", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        code, _ = _run(["sweep", "gcc", "--n-train", "2", "--n-test", "1",
+                        "--samples", "64", "--checkpoint-every", "5",
+                        "--cache-dir", str(tmp_path / "cache")])
+        assert code == 0
+        # No leak into the embedding process once the command returns.
+        assert "REPRO_CHECKPOINT_EVERY" not in os.environ
+        assert "REPRO_CHECKPOINT_DIR" not in os.environ
+
+    def test_env_driven_checkpointing_follows_cache_dir_flag(
+            self, monkeypatch, tmp_path):
+        import argparse
+        import os
+
+        from repro.cli import _make_engine
+
+        monkeypatch.setenv("REPRO_CHECKPOINT_EVERY", "8")  # env, not flag
+        monkeypatch.delenv("REPRO_CHECKPOINT_DIR", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        args = argparse.Namespace(
+            jobs=None, cache_dir=str(tmp_path / "cache"),
+            cache_max_bytes=None, progress=False, shm=None,
+            checkpoint_every=None,
+        )
+        _make_engine(args)
+        assert os.environ["REPRO_CHECKPOINT_DIR"] == str(
+            tmp_path / "cache" / "checkpoints")
+        monkeypatch.delenv("REPRO_CHECKPOINT_DIR")

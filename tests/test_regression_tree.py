@@ -154,3 +154,42 @@ class TestImportance:
         tree = RegressionTree(max_depth=0).fit(X, y)
         assert np.all(tree.split_order_scores() == 0.0)
         assert np.all(tree.split_counts() == 0)
+
+
+class TestVectorizedPredict:
+    """Batched node routing must agree with a per-row reference walk."""
+
+    @staticmethod
+    def _reference_predict(tree, X):
+        out = np.empty(X.shape[0])
+        for i, row in enumerate(X):
+            node = tree.root
+            while not node.is_leaf:
+                node = (node.left if row[node.feature] <= node.threshold
+                        else node.right)
+            out[i] = node.value
+        return out
+
+    def test_matches_reference_walk(self):
+        rng = np.random.default_rng(42)
+        X = rng.uniform(size=(300, 5))
+        y = (np.sin(5 * X[:, 0]) + 2 * (X[:, 1] > 0.4)
+             + 0.3 * rng.normal(size=300))
+        tree = RegressionTree(max_depth=7, min_samples_leaf=3).fit(X, y)
+        probe = rng.uniform(-0.2, 1.2, size=(500, 5))
+        assert np.array_equal(tree.predict(probe),
+                              self._reference_predict(tree, probe))
+
+    def test_threshold_boundary_routes_left(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]] * 4)
+        y = (X[:, 0] > 1.5).astype(float)
+        tree = RegressionTree(max_depth=1, min_samples_leaf=2).fit(X, y)
+        threshold = tree.root.threshold
+        assert tree.predict([[threshold]])[0] == tree.root.left.value
+
+    def test_stump_predicts_mean(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(size=(50, 2))
+        y = rng.normal(size=50)
+        tree = RegressionTree(max_depth=0).fit(X, y)
+        assert np.allclose(tree.predict(X), y.mean())
