@@ -17,18 +17,26 @@ Commands
 ``cache``
     Inspect (``stats``), garbage-collect (``gc``) or empty (``clear``)
     the on-disk simulation result cache.
+``worker serve``
+    Serve simulation chunks to remote dispatchers over TCP — the
+    receiving end of ``--hosts`` / ``REPRO_HOSTS`` distributed sweeps.
 ``simpoint``
     Representative-interval selection for a benchmark.
 
-The ``--jobs N`` / ``--cache-dir DIR`` / ``--cache-max-bytes N`` flags
-(on ``run-experiment`` and ``sweep``) select the execution engine's
-worker-process count and on-disk result cache; they map to the
-``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` / ``REPRO_CACHE_MAX_BYTES``
+The ``--jobs N`` / ``--cache-dir DIR`` / ``--cache-max-bytes N`` /
+``--hosts LIST`` flags (on ``run-experiment`` and ``sweep``) select the
+execution engine's worker-process count, on-disk result cache and
+remote worker fleet; they mirror the ``REPRO_JOBS`` /
+``REPRO_CACHE_DIR`` / ``REPRO_CACHE_MAX_BYTES`` / ``REPRO_HOSTS``
 environment variables honoured by the library.  ``--shm/--no-shm``
 toggles the zero-copy shared-memory result transport (``REPRO_SHM``),
-``--checkpoint-every N`` enables detailed-backend mid-run snapshots
-(``REPRO_CHECKPOINT_EVERY``), and ``--progress`` prints a running
-jobs-done / cache-hit count while long sweeps execute.
+``--checkpoint-every N`` enables detailed-backend mid-run snapshots,
+and ``--progress`` prints a running jobs-done / cache-hit count while
+long sweeps execute.
+
+All flags are threaded through engine and job objects — a CLI run
+never mutates ``os.environ``, so embedding callers that invoke
+:func:`main` repeatedly see their environment untouched.
 """
 
 from __future__ import annotations
@@ -96,6 +104,20 @@ def _build_parser() -> argparse.ArgumentParser:
                                 help="cache directory (default: "
                                      "REPRO_CACHE_DIR)")
 
+    worker = sub.add_parser(
+        "worker", help="remote-execution worker management")
+    worker_sub = worker.add_subparsers(dest="worker_command", required=True)
+    serve = worker_sub.add_parser(
+        "serve", help="serve simulation chunks to dispatchers over TCP")
+    serve.add_argument("--host", default="0.0.0.0",
+                       help="bind address (default: all interfaces)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port (default: 7821; 0 picks a free "
+                            "port, printed on startup)")
+    serve.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="simulation processes / advertised capacity "
+                            "(default: CPU count)")
+
     sp = sub.add_parser("simpoint", help="pick a representative interval")
     sp.add_argument("benchmark")
     sp.add_argument("--intervals", type=int, default=64)
@@ -124,6 +146,11 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                         help="detailed backend: snapshot simulation state "
                              "every N intervals so killed sweeps resume "
                              "mid-benchmark (REPRO_CHECKPOINT_EVERY)")
+    parser.add_argument("--hosts", default=None, metavar="LIST",
+                        help="comma-separated host:port remote workers "
+                             "(repro worker serve); dispatches sweep "
+                             "chunks to them instead of local processes "
+                             "(REPRO_HOSTS)")
 
 
 def _cmd_list_benchmarks(out) -> int:
@@ -180,45 +207,32 @@ def _progress_printer(out, every: int = 25):
 
 
 def _make_engine(args, out=None):
-    import os
-    from pathlib import Path
-
     from repro.experiments.context import engine_from_env
 
     on_result = None
     if getattr(args, "progress", False):
         on_result = _progress_printer(out or sys.stdout)
-    # Checkpoint settings travel via the environment: worker processes
-    # (forked after engine creation) read them in SimJob.run.
-    checkpoint_every = getattr(args, "checkpoint_every", None)
-    if checkpoint_every is not None:
-        os.environ["REPRO_CHECKPOINT_EVERY"] = str(checkpoint_every)
-    # Checkpoints default to living under the cache directory; a cache
-    # dir given as a flag must steer them exactly like REPRO_CACHE_DIR
-    # would, even when checkpointing itself was enabled via the
-    # environment rather than --checkpoint-every.
-    if os.environ.get("REPRO_CHECKPOINT_EVERY", "").strip():
-        cache_dir = args.cache_dir or os.environ.get(
-            "REPRO_CACHE_DIR", "").strip() or None
-        if cache_dir is not None and not os.environ.get(
-                "REPRO_CHECKPOINT_DIR", "").strip():
-            os.environ["REPRO_CHECKPOINT_DIR"] = str(
-                Path(cache_dir) / "checkpoints")
-    # Flags win; unset flags fall back to the REPRO_* environment.
+    # Checkpoint settings are threaded through the engine onto the jobs
+    # themselves (pickled to pool workers and remote hosts alike), so a
+    # CLI invocation never leaks REPRO_* variables into the parent
+    # process.  Flags win (--checkpoint-every 0 disables even when the
+    # environment enables); unset flags fall back to the environment,
+    # resolved by engine_from_env against the effective cache dir.
     return engine_from_env(jobs=args.jobs, cache_dir=args.cache_dir,
                            cache_max_bytes=args.cache_max_bytes,
                            on_result=on_result,
-                           shm=getattr(args, "shm", None))
+                           shm=getattr(args, "shm", None),
+                           hosts=getattr(args, "hosts", None),
+                           checkpoint_every=getattr(args, "checkpoint_every",
+                                                    None))
 
 
 def _cmd_run_experiment(args, out) -> int:
-    import os
-
-    os.environ["REPRO_SCALE"] = args.scale
     from repro.experiments import run_experiment
     from repro.experiments.context import ExperimentContext, Scale
 
-    ctx = ExperimentContext(Scale.from_env(), engine=_make_engine(args, out))
+    scale = Scale.paper() if args.scale == "paper" else Scale.quick()
+    ctx = ExperimentContext(scale, engine=_make_engine(args, out))
     result = run_experiment(args.experiment_id, ctx)
     out.write(result.render() + "\n")
     return 0
@@ -238,11 +252,15 @@ def _cmd_sweep(args, out) -> int:
     train, test = runner.run_train_test(args.benchmark, plan)
     elapsed = time.perf_counter() - start
     n_runs = train.n_configs + test.n_configs
-    workers = getattr(engine.executor, "max_workers", 1)
+    hosts = getattr(engine.executor, "hosts", None)
+    if hosts:
+        where = f"{len(hosts)} remote host(s)"
+    else:
+        where = f"{getattr(engine.executor, 'max_workers', 1)} worker(s)"
     out.write(f"{args.benchmark}: {n_runs} simulations "
               f"({train.n_configs} train + {test.n_configs} test, "
               f"{args.samples} samples) in {elapsed:.2f}s "
-              f"[{workers} worker(s)]\n")
+              f"[{where}]\n")
     if engine.cache is not None:
         out.write(f"cache: {engine.cache.stats.describe()}\n")
     if args.out:
@@ -299,6 +317,38 @@ def _cmd_cache(args, out) -> int:
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
+def _cmd_worker(args, out) -> int:
+    import os
+
+    from repro.engine.remote import DEFAULT_PORT, WorkerServer
+
+    if args.worker_command != "serve":
+        raise AssertionError(
+            f"unhandled worker command {args.worker_command!r}")
+    port = DEFAULT_PORT if args.port is None else args.port
+    server = WorkerServer(host=args.host, port=port, max_workers=args.jobs)
+    if (not os.environ.get("REPRO_AUTHKEY", "")
+            and not args.host.startswith("127.")
+            and args.host != "localhost"):
+        out.write("repro worker: WARNING: serving beyond loopback with the "
+                  "built-in default authkey; anyone who can reach this port "
+                  "can submit jobs.  Set REPRO_AUTHKEY (identically on the "
+                  "dispatcher) on untrusted networks.\n")
+    # The bound address is printed (and flushed) before serving so
+    # orchestration scripts using --port 0 can scrape the chosen port.
+    out.write(f"repro worker: serving on {server.host}:{server.port} "
+              f"({server.max_workers} worker(s))\n")
+    if hasattr(out, "flush"):
+        out.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
 def _cmd_simpoint(args, out) -> int:
     from repro.workloads.simpoint import pick_simpoint
     from repro.workloads.spec2000 import get_benchmark
@@ -313,35 +363,28 @@ def _cmd_simpoint(args, out) -> int:
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
-    """CLI entry point; returns a process exit code."""
-    import os
+    """CLI entry point; returns a process exit code.
 
+    Never mutates ``os.environ``: every flag is threaded through engine
+    and job objects, so embedding callers can invoke :func:`main`
+    repeatedly without inheriting stale ``REPRO_*`` settings.
+    """
     out = out or sys.stdout
     args = _build_parser().parse_args(argv)
-    # --checkpoint-every travels to (forked) workers via the
-    # environment; restore it afterwards so embedding callers that
-    # invoke main() repeatedly do not inherit stale checkpoint settings.
-    checkpoint_keys = ("REPRO_CHECKPOINT_EVERY", "REPRO_CHECKPOINT_DIR")
-    saved = {key: os.environ.get(key) for key in checkpoint_keys}
-    try:
-        if args.command == "list-benchmarks":
-            return _cmd_list_benchmarks(out)
-        if args.command == "list-experiments":
-            return _cmd_list_experiments(out)
-        if args.command == "simulate":
-            return _cmd_simulate(args, out)
-        if args.command == "run-experiment":
-            return _cmd_run_experiment(args, out)
-        if args.command == "sweep":
-            return _cmd_sweep(args, out)
-        if args.command == "cache":
-            return _cmd_cache(args, out)
-        if args.command == "simpoint":
-            return _cmd_simpoint(args, out)
-        raise AssertionError(f"unhandled command {args.command!r}")
-    finally:
-        for key, value in saved.items():
-            if value is None:
-                os.environ.pop(key, None)
-            else:
-                os.environ[key] = value
+    if args.command == "list-benchmarks":
+        return _cmd_list_benchmarks(out)
+    if args.command == "list-experiments":
+        return _cmd_list_experiments(out)
+    if args.command == "simulate":
+        return _cmd_simulate(args, out)
+    if args.command == "run-experiment":
+        return _cmd_run_experiment(args, out)
+    if args.command == "sweep":
+        return _cmd_sweep(args, out)
+    if args.command == "cache":
+        return _cmd_cache(args, out)
+    if args.command == "worker":
+        return _cmd_worker(args, out)
+    if args.command == "simpoint":
+        return _cmd_simpoint(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -13,7 +13,9 @@ filename alone.
 The disk tier has a real lifecycle:
 
 * an optional **byte cap** (``max_bytes``) enforced after every store by
-  evicting the oldest entries first (file-mtime LRU);
+  evicting the oldest entries first (file-mtime LRU, ties broken by
+  entry filename so eviction is reproducible even on filesystems with
+  coarse timestamps);
 * explicit :meth:`gc` (size-targeted collection), :meth:`gc_versions`
   (drop entries from other key versions) and :meth:`clear`;
 * byte/entry accounting surfaced through :meth:`disk_bytes`,
@@ -27,12 +29,13 @@ entries are treated as misses and overwritten.
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import os
 import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -136,10 +139,17 @@ class ResultCache:
         self.max_bytes = max_bytes
         self.stats = CacheStats()
         self._memory: "OrderedDict[str, SimulationResult]" = OrderedDict()
-        # Disk index: filename -> size in bytes, kept oldest-mtime-first
-        # so byte-cap eviction pops from the front.  Built lazily from a
-        # directory scan, then maintained incrementally.
-        self._disk: Optional["OrderedDict[str, int]"] = None
+        # Disk index: filename -> (mtime_ns, size in bytes).  Built
+        # lazily from a directory scan, then maintained incrementally.
+        # Eviction victims are chosen by (mtime, filename) — never by
+        # index insertion order — so the eviction sequence is identical
+        # whether the index was scanned or grown by puts, even when
+        # coarse filesystem timestamps make many entries share an mtime.
+        # A min-heap over (mtime_ns, filename) keeps victim selection
+        # O(log n) per store; stale heap tuples (overwritten or already
+        # removed entries) are skipped lazily against the index.
+        self._disk: Optional[Dict[str, Tuple[int, int]]] = None
+        self._heap: List[Tuple[int, str]] = []
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> Path:
@@ -160,33 +170,39 @@ class ResultCache:
     # ------------------------------------------------------------------
     # Disk index
     # ------------------------------------------------------------------
-    def _scan_disk(self) -> "OrderedDict[str, int]":
-        entries = []
+    def _scan_disk(self) -> Dict[str, Tuple[int, int]]:
+        index: Dict[str, Tuple[int, int]] = {}
         if self.cache_dir is not None and self.cache_dir.exists():
             for path in self.cache_dir.glob("*.npz"):
                 try:
                     stat = path.stat()
                 except OSError:
                     continue  # deleted underneath us (shared directory)
-                entries.append((stat.st_mtime, path.name, stat.st_size))
-        entries.sort()
-        return OrderedDict((name, size) for _, name, size in entries)
+                index[path.name] = (stat.st_mtime_ns, stat.st_size)
+        return index
 
-    def _index(self) -> "OrderedDict[str, int]":
+    def _rescan(self) -> Dict[str, Tuple[int, int]]:
+        self._disk = self._scan_disk()
+        self._heap = [(mtime, name)
+                      for name, (mtime, _) in self._disk.items()]
+        heapq.heapify(self._heap)
+        return self._disk
+
+    def _index(self) -> Dict[str, Tuple[int, int]]:
         if self._disk is None:
-            self._disk = self._scan_disk()
+            self._rescan()
         return self._disk
 
     def disk_bytes(self) -> int:
         """Total bytes held by the disk tier (0 when disabled)."""
         if self.cache_dir is None:
             return 0
-        return sum(self._index().values())
+        return sum(size for _, size in self._index().values())
 
     def _evict(self, name: str) -> int:
         """Remove one disk entry; returns the bytes freed."""
         index = self._index()
-        size = index.pop(name, 0)
+        _, size = index.pop(name, (0, 0))
         try:
             (self.cache_dir / name).unlink()
         except OSError:
@@ -195,14 +211,27 @@ class ResultCache:
         return size
 
     def _enforce_cap(self, max_bytes: Optional[int]) -> Tuple[int, int]:
-        """Evict oldest-first until the tier fits; (entries, bytes) freed."""
+        """Evict oldest-first until the tier fits; (entries, bytes) freed.
+
+        The victim is always the minimum of ``(mtime, filename)``: the
+        filename tie-break keeps the eviction order reproducible when
+        coarse filesystem timestamps give many entries one mtime.
+        """
         freed_entries, freed_bytes = 0, 0
         if max_bytes is None or self.cache_dir is None:
             return freed_entries, freed_bytes
         index = self._index()
-        total = sum(index.values())
+        total = sum(size for _, size in index.values())
         while total > max_bytes and index:
-            name = next(iter(index))
+            name = None
+            while self._heap:
+                mtime, candidate = heapq.heappop(self._heap)
+                entry = index.get(candidate)
+                if entry is not None and entry[0] == mtime:
+                    name = candidate
+                    break  # live entry; stale tuples are skipped
+            if name is None:
+                break  # heap exhausted (index mutated externally)
             size = self._evict(name)
             total -= size
             freed_entries += 1
@@ -244,11 +273,14 @@ class ResultCache:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
             path = self._path(key)
             self._dump(path, result)
-            size = path.stat().st_size
-            index = self._index()
-            index.pop(path.name, None)  # overwrite: refresh recency
-            index[path.name] = size
-            self.stats.bytes_written += size
+            stat = path.stat()
+            # Overwrites refresh recency too: the recorded mtime is the
+            # new file's, so a rewritten entry stops being an eviction
+            # candidate until it ages again (its old heap tuple goes
+            # stale and is skipped at pop time).
+            self._index()[path.name] = (stat.st_mtime_ns, stat.st_size)
+            heapq.heappush(self._heap, (stat.st_mtime_ns, path.name))
+            self.stats.bytes_written += stat.st_size
             self._enforce_cap(self.max_bytes)
         self.stats.stores += 1
 
@@ -265,7 +297,7 @@ class ResultCache:
         """
         if self.cache_dir is None:
             return (0, 0)
-        self._disk = self._scan_disk()
+        self._rescan()
         target = max_bytes if max_bytes is not None else self.max_bytes
         return self._enforce_cap(target)
 
@@ -280,7 +312,7 @@ class ResultCache:
         """
         if self.cache_dir is None:
             return (0, 0)
-        self._disk = self._scan_disk()
+        self._rescan()
         prefix = VERSION_TAG + "-"
         stale = [name for name in self._index()
                  if not name.startswith(prefix)]
@@ -294,7 +326,7 @@ class ResultCache:
         self._memory.clear()
         if self.cache_dir is None:
             return 0
-        self._disk = self._scan_disk()
+        self._rescan()
         names = list(self._index())
         for name in names:
             self._evict(name)

@@ -14,9 +14,11 @@ that property.
 shared-memory arena by default (:mod:`repro.engine.shm`): workers write
 trace rows straight into a preallocated per-batch block and only tiny
 descriptors cross the pool pipe.  It also autotunes chunk sizes per
-backend from measured per-job wall time — coarse chunks for
-sub-millisecond interval jobs, fine-grained ones for seconds-per-job
-detailed runs.
+backend from measured per-job wall time (:class:`ChunkTuner`) — coarse
+chunks for sub-millisecond interval jobs, fine-grained ones for
+seconds-per-job detailed runs.  The third implementation of the
+protocol, :class:`~repro.engine.remote.DistributedExecutor`, dispatches
+the same chunks to ``repro worker serve`` processes on other machines.
 
 :class:`ExecutionEngine` composes an executor with an optional
 :class:`~repro.engine.cache.ResultCache`: batch lookups first, duplicate
@@ -29,14 +31,17 @@ predictive models) while the tail of the batch is still simulating.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
+import weakref
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import (
     Callable,
     Dict,
+    Hashable,
     Iterator,
     List,
     Optional,
@@ -45,7 +50,7 @@ from typing import (
     Tuple,
 )
 
-from repro.errors import EngineError
+from repro.errors import EngineError, SimulationError
 from repro.engine.cache import ResultCache
 from repro.engine.jobs import SimJob
 from repro.engine.shm import ArenaSpec, ShmArena, shm_from_env, write_results
@@ -127,6 +132,79 @@ PROBE_CHUNK_SIZE = 4
 DEFAULT_TARGET_CHUNK_SECONDS = 0.25
 
 
+class ChunkTuner:
+    """Per-key EMA of measured per-job wall time, turned into chunk sizes.
+
+    The key is whatever granularity the owning executor tunes at:
+    :class:`ParallelExecutor` uses the backend name, the distributed
+    executor (:mod:`repro.engine.remote`) a ``(host, backend)`` pair so
+    a slow machine gets smaller chunks than a fast one.  An untimed key
+    starts with a small probe chunk so its first measurement lands
+    quickly; once timed, chunks target ``target_seconds`` of work each.
+    """
+
+    def __init__(self,
+                 target_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS):
+        if target_seconds <= 0:
+            raise EngineError(
+                f"target_seconds must be > 0, got {target_seconds}"
+            )
+        self.target_seconds = target_seconds
+        self._tuned: Dict[Hashable, float] = {}  # key -> per-job seconds
+
+    def known(self, key: Hashable) -> bool:
+        return key in self._tuned
+
+    def record(self, key: Hashable, per_job: float) -> None:
+        old = self._tuned.get(key)
+        self._tuned[key] = per_job if old is None else 0.5 * (old + per_job)
+
+    def plan(self, key: Hashable, n_jobs: int, workers: int) -> int:
+        """Jobs per chunk for ``key`` in a batch of ``n_jobs``.
+
+        A tuned key targets ``target_seconds`` of measured work per
+        chunk (capped so every one of ``workers`` still gets a chunk);
+        an untuned key gets a small probe chunk.
+        """
+        default = max(1, -(-n_jobs // (max(workers, 1) * 4)))
+        per_job = self._tuned.get(key)
+        if per_job is None:
+            return min(default, PROBE_CHUNK_SIZE)
+        per_job = max(per_job, 1e-7)
+        upper = max(1, -(-n_jobs // max(workers, 1)))
+        return max(1, min(int(self.target_seconds / per_job), upper))
+
+
+def carve_chunk(jobs: Sequence[SimJob], start: int, size: int) -> int:
+    """End index of a chunk of at most ``size`` jobs starting at ``start``.
+
+    Chunks are kept backend-homogeneous — a chunk's wall time feeds a
+    per-backend tuning estimate, and mixing sub-millisecond interval
+    jobs with seconds-long detailed jobs in one measurement would
+    poison it.  Shared by every chunking executor so their carving
+    rules cannot diverge.
+    """
+    stop = min(len(jobs), start + size)
+    backend = jobs[start].backend
+    for j in range(start + 1, stop):
+        if jobs[j].backend != backend:
+            return j
+    return stop
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    """weakref.finalize callback: shut an abandoned executor's pool down.
+
+    Runs exactly once — when the owning executor is garbage collected or
+    at interpreter exit (via ``atexit``) — so teardown never depends on
+    nondeterministic ``__del__`` ordering during shutdown.
+    """
+    try:
+        pool.shutdown(wait=True)
+    except Exception:
+        pass
+
+
 class ParallelExecutor:
     """Fans job batches out over a process pool.
 
@@ -188,22 +266,27 @@ class ParallelExecutor:
             raise EngineError(
                 f"chunk_size must be >= 1, got {chunk_size}"
             )
-        if target_chunk_seconds <= 0:
-            raise EngineError(
-                f"target_chunk_seconds must be > 0, got {target_chunk_seconds}"
-            )
         self.max_workers = max_workers or os.cpu_count() or 1
         self.chunk_size = chunk_size
         self.shm = shm_from_env() if shm is None else bool(shm)
         self.autotune = (chunk_size is None) if autotune is None else autotune
-        self.target_chunk_seconds = target_chunk_seconds
+        self.tuner = ChunkTuner(target_seconds=target_chunk_seconds)
         #: Last batch's arena (``None`` for pickle transport); exposed
         #: for lifecycle tests and benchmarks.  Intentionally retained
         #: until the next batch (or :meth:`close`): the reference keeps
         #: only the latest mapping alive, bounded by one batch's size.
         self.last_arena: Optional[ShmArena] = None
-        self._tuned: Dict[str, float] = {}  # backend -> per-job seconds
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_finalizer: Optional[weakref.finalize] = None
+
+    @property
+    def target_chunk_seconds(self) -> float:
+        return self.tuner.target_seconds
+
+    @property
+    def _tuned(self) -> Dict[Hashable, float]:
+        # Back-compat alias for tests/diagnostics: backend -> seconds.
+        return self.tuner._tuned
 
     def _get_pool(self) -> ProcessPoolExecutor:
         # Lazily created and reused across run_batch calls: an engine
@@ -211,9 +294,17 @@ class ParallelExecutor:
         # not once per benchmark batch.
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            # The finalizer — not __del__, whose ordering during
+            # interpreter shutdown is undefined — guarantees the pool of
+            # an abandoned executor is shut down exactly once.
+            self._pool_finalizer = weakref.finalize(
+                self, _shutdown_pool, self._pool)
         return self._pool
 
     def _close_pool(self) -> None:
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -222,16 +313,13 @@ class ParallelExecutor:
         """Shut the worker pool down (a later run_batch restarts it).
 
         Also drops the executor's reference to the last batch's arena;
-        result views keep their own memory alive regardless.
+        result views keep their own memory alive regardless.  Idempotent
+        and — together with the pool/arena finalizers — guaranteed to
+        run exactly once per resource even when the executor is simply
+        abandoned.
         """
         self.last_arena = None
         self._close_pool()
-
-    def __del__(self):
-        try:
-            self.close()
-        except Exception:
-            pass
 
     def __enter__(self) -> "ParallelExecutor":
         return self
@@ -249,19 +337,12 @@ class ParallelExecutor:
         """
         if self.chunk_size is not None:
             return self.chunk_size
-        default = max(1, -(-n_jobs // (self.max_workers * 4)))
         if not self.autotune:
-            return default
-        per_job = self._tuned.get(backend)
-        if per_job is None:
-            return min(default, PROBE_CHUNK_SIZE)
-        per_job = max(per_job, 1e-7)
-        upper = max(1, -(-n_jobs // self.max_workers))
-        return max(1, min(int(self.target_chunk_seconds / per_job), upper))
+            return max(1, -(-n_jobs // (self.max_workers * 4)))
+        return self.tuner.plan(backend, n_jobs, self.max_workers)
 
     def _record_timing(self, backend: str, per_job: float) -> None:
-        old = self._tuned.get(backend)
-        self._tuned[backend] = per_job if old is None else 0.5 * (old + per_job)
+        self.tuner.record(backend, per_job)
 
     def submit_batch(self, jobs: Sequence[SimJob],
                      ) -> Iterator[Tuple[int, SimulationResult]]:
@@ -294,17 +375,13 @@ class ParallelExecutor:
             backend = jobs[start].backend
             if self.chunk_size is not None or not self.autotune:
                 size = self.chunk_size or default_size
-            elif backend in self._tuned:
+            elif self.tuner.known(backend):
                 size = self.planned_chunk_size(backend, n)
             elif len(futures) < self.max_workers:
                 size = min(default_size, PROBE_CHUNK_SIZE)  # probe wave
             else:
                 size = default_size  # untimed tail: eager, pre-tuning size
-            stop = min(n, start + size)
-            for j in range(start + 1, stop):
-                if jobs[j].backend != backend:
-                    stop = j  # keep chunks backend-homogeneous
-                    break
+            stop = carve_chunk(jobs, start, size)
             cursor = stop
             future = pool.submit(_run_chunk_transport, jobs[start:stop],
                                  spec, list(range(start, stop)))
@@ -319,11 +396,17 @@ class ParallelExecutor:
                     for future in done:
                         try:
                             payload, elapsed = future.result()
-                        except BrokenProcessPool:
+                        except BrokenProcessPool as exc:
                             # A dead pool cannot serve the next batch;
                             # keep last_arena for post-mortem inspection.
                             self._close_pool()
-                            raise
+                            start = futures[future]
+                            raise SimulationError(
+                                f"worker process died mid-chunk (chunk "
+                                f"starting at job {start} of a "
+                                f"{len(jobs)}-job batch); the pool was shut "
+                                f"down and the batch aborted"
+                            ) from exc
                         start = futures[future]
                         if payload and self.autotune:
                             self._record_timing(jobs[start].backend,
@@ -388,6 +471,7 @@ class BatchHandle:
         self._cache = cache
         self._callbacks = callbacks
         self._yielded = 0
+        self._failure: Optional[BaseException] = None
 
     def __len__(self) -> int:
         return len(self.jobs)
@@ -399,13 +483,25 @@ class BatchHandle:
 
     # ------------------------------------------------------------------
     def _advance(self) -> None:
-        """Pull one executor result and fan it out to its job indices."""
+        """Pull one executor result and fan it out to its job indices.
+
+        An executor failure (e.g. a worker process dying mid-chunk) is
+        terminal for the batch's unresolved jobs: the first failure is
+        remembered and re-raised by every later accessor, while jobs
+        that already resolved — cache hits and results drained before
+        the failure — stay available.
+        """
+        if self._failure is not None:
+            raise self._failure
         try:
             unique_index, result = next(self._stream)
         except StopIteration:
             raise EngineError(
                 "executor stream exhausted with unresolved jobs in the batch"
             )
+        except Exception as exc:
+            self._failure = exc
+            raise
         job = self._unique[unique_index]
         if self._cache is not None:
             self._cache.put(job, result)
@@ -466,16 +562,44 @@ class ExecutionEngine:
         ``on_result(job_index, job, result, from_cache)`` for every job
         resolved by any batch this engine runs (the CLI's ``--progress``
         hook).
+    checkpoint_every, checkpoint_dir:
+        Detailed-backend checkpoint settings stamped onto submitted jobs
+        that do not carry their own (see
+        :class:`~repro.engine.jobs.SimJob`).  The settings travel
+        *inside* the pickled jobs — to pool workers and remote hosts
+        alike — so enabling checkpointing never mutates the process
+        environment.  They do not participate in job keys: a
+        checkpointed job and a plain one share one cache entry.
     """
 
     def __init__(self, executor: Optional[Executor] = None,
                  cache: Optional[ResultCache] = None,
-                 on_result: Optional[ResultCallback] = None):
+                 on_result: Optional[ResultCallback] = None,
+                 checkpoint_every: Optional[int] = None,
+                 checkpoint_dir=None):
         self.executor = executor or LocalExecutor()
         self.cache = cache
         self.on_result = on_result
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = str(checkpoint_dir) if checkpoint_dir else None
 
     # ------------------------------------------------------------------
+    def _configure_job(self, job: SimJob) -> SimJob:
+        """Stamp engine-level checkpoint settings onto a detailed job.
+
+        Job-level settings win; the job's content key is unaffected
+        either way (checkpointing changes where intermediate state
+        lives, never the simulated result).
+        """
+        if job.backend != "detailed":
+            return job
+        updates = {}
+        if self.checkpoint_every is not None and job.checkpoint_every is None:
+            updates["checkpoint_every"] = self.checkpoint_every
+        if self.checkpoint_dir is not None and job.checkpoint_dir is None:
+            updates["checkpoint_dir"] = self.checkpoint_dir
+        return dataclasses.replace(job, **updates) if updates else job
+
     def submit(self, jobs: Sequence[SimJob],
                on_result: Optional[ResultCallback] = None) -> BatchHandle:
         """Submit a batch and return a streaming :class:`BatchHandle`.
@@ -485,7 +609,7 @@ class ExecutionEngine:
         unique misses are dispatched to the executor eagerly, so a
         process pool starts simulating before the handle is consumed.
         """
-        jobs = list(jobs)
+        jobs = [self._configure_job(job) for job in jobs]
         results: List[Optional[SimulationResult]] = [None] * len(jobs)
         resolved = [False] * len(jobs)
         ready: "deque[Tuple[int, SimulationResult]]" = deque()
@@ -546,6 +670,9 @@ def create_engine(jobs: Optional[int] = None,
                   cache_max_bytes: Optional[int] = None,
                   on_result: Optional[ResultCallback] = None,
                   shm: Optional[bool] = None,
+                  hosts=None,
+                  checkpoint_every: Optional[int] = None,
+                  checkpoint_dir=None,
                   ) -> ExecutionEngine:
     """Build an engine from the user-facing knobs.
 
@@ -554,26 +681,43 @@ def create_engine(jobs: Optional[int] = None,
     jobs:
         Worker processes; ``None`` or 1 selects the in-process
         :class:`LocalExecutor`, anything larger a
-        :class:`ParallelExecutor`.
+        :class:`ParallelExecutor`.  With ``hosts`` configured this is
+        only the local fallback width — remote capacity is advertised
+        by each worker host.
     cache_dir:
         On-disk cache directory (``None`` disables the disk tier but
         keeps an in-memory LRU when ``memory_items > 0``).
     memory_items:
         In-memory LRU capacity.
     cache_max_bytes:
-        Byte cap for the disk tier; oldest entries (by file mtime) are
-        evicted when a store would exceed it.  ``None`` means unbounded.
+        Byte cap for the disk tier; oldest entries (by file mtime,
+        ties broken by filename) are evicted when a store would exceed
+        it.  ``None`` means unbounded.
     on_result:
         Engine-wide per-job progress callback (see
         :class:`ExecutionEngine`).
     shm:
         Shared-memory result transport for the parallel executor;
         ``None`` consults ``REPRO_SHM`` (default on).
+    hosts:
+        Remote worker hosts (``"host:port"`` strings or
+        :class:`~repro.engine.remote.HostSpec`); a non-empty list
+        selects the :class:`~repro.engine.remote.DistributedExecutor`,
+        which dispatches job chunks to ``repro worker serve``
+        processes.  Empty/``None`` keeps execution on this machine.
+    checkpoint_every, checkpoint_dir:
+        Detailed-backend checkpoint settings threaded through the
+        engine onto submitted jobs (see :class:`ExecutionEngine`); the
+        process environment is never touched.
     """
     if jobs is not None and jobs < 1:
         raise EngineError(f"jobs must be >= 1, got {jobs}")
     executor: Executor
-    if jobs is not None and jobs > 1:
+    if hosts:
+        from repro.engine.remote import DistributedExecutor
+
+        executor = DistributedExecutor(hosts, fallback_jobs=jobs, shm=shm)
+    elif jobs is not None and jobs > 1:
         executor = ParallelExecutor(max_workers=jobs, shm=shm)
     else:
         executor = LocalExecutor()
@@ -582,4 +726,6 @@ def create_engine(jobs: Optional[int] = None,
         cache = ResultCache(cache_dir=cache_dir, memory_items=memory_items,
                             max_bytes=cache_max_bytes)
     return ExecutionEngine(executor=executor, cache=cache,
-                           on_result=on_result)
+                           on_result=on_result,
+                           checkpoint_every=checkpoint_every,
+                           checkpoint_dir=checkpoint_dir)

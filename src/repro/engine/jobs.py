@@ -75,6 +75,18 @@ class SimJob:
     workload:
         Optional explicit :class:`WorkloadModel`, for workloads outside
         the registry.  Its content participates in the job key.
+    checkpoint_every, checkpoint_dir:
+        Detailed backend only: snapshot the core every N intervals into
+        ``checkpoint_dir`` (keyed by this job's content hash) so a
+        killed sweep resumes mid-benchmark.  Threaded through the job
+        itself — pickled to pool workers and remote hosts alike — so
+        enabling checkpointing never mutates ``os.environ``.  ``None``
+        means *unset*: the job falls back to the
+        ``REPRO_CHECKPOINT_EVERY`` / ``REPRO_CHECKPOINT_DIR``
+        environment of whatever process runs it; an explicit ``0``
+        disables checkpointing even when that environment enables it.
+        **Excluded from the job key**: checkpointing changes where
+        intermediate state lives, never the result.
     """
 
     benchmark: str
@@ -84,6 +96,8 @@ class SimJob:
     instructions_per_sample: int = 1000
     noise: bool = True
     workload: Optional[WorkloadModel] = None
+    checkpoint_every: Optional[int] = None
+    checkpoint_dir: Optional[str] = None
 
     def __post_init__(self):
         if self.backend not in JOB_BACKENDS:
@@ -97,6 +111,10 @@ class SimJob:
         if self.n_samples <= 0:
             raise EngineError(
                 f"n_samples must be positive, got {self.n_samples}"
+            )
+        if self.checkpoint_every is not None and self.checkpoint_every < 0:
+            raise EngineError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
             )
         if self.workload is not None and self.workload.name != self.benchmark:
             raise EngineError(
@@ -144,11 +162,13 @@ class SimJob:
         Imported lazily so job objects stay cheap to pickle into worker
         processes.
 
-        Detailed jobs honour the ``REPRO_CHECKPOINT_EVERY`` /
-        ``REPRO_CHECKPOINT_DIR`` environment: mid-run snapshots are
-        written under a file named by this job's content-hash key, so a
-        killed sweep resumes each job from its last checkpoint — in any
-        process, on any executor — instead of restarting it.
+        Detailed jobs checkpoint according to their own
+        ``checkpoint_every`` / ``checkpoint_dir`` fields, falling back
+        to the ``REPRO_CHECKPOINT_EVERY`` / ``REPRO_CHECKPOINT_DIR``
+        environment when unset: mid-run snapshots are written under a
+        file named by this job's content-hash key, so a killed sweep
+        resumes each job from its last checkpoint — in any process, on
+        any executor, on any host — instead of restarting it.
         """
         from repro.uarch.simulator import Simulator
 
@@ -158,9 +178,10 @@ class SimJob:
         if self.backend == "detailed":
             from pathlib import Path
 
-            from repro.uarch.detailed import checkpoint_settings_from_env
+            from repro.uarch.detailed import resolve_checkpoint_settings
 
-            every, directory = checkpoint_settings_from_env()
+            every, directory = resolve_checkpoint_settings(
+                self.checkpoint_every, self.checkpoint_dir)
             if every:
                 kwargs = dict(
                     checkpoint_every=every,

@@ -1,0 +1,787 @@
+"""Distributed execution: dispatch job chunks to remote worker hosts.
+
+The paper's detailed-simulation training sweeps are the cost that
+workload-dynamics models exist to amortize; one machine's cores bound
+how fast they finish.  This module adds the third leg of the
+Local / Parallel / Distributed executor matrix:
+
+* :class:`WorkerServer` — the ``repro worker serve`` process.  It
+  listens on a TCP port (:mod:`multiprocessing.connection`:
+  length-prefixed pickle frames behind an HMAC authkey handshake),
+  advertises its capacity, and runs each received chunk on a local
+  :class:`~concurrent.futures.ProcessPoolExecutor` through the same
+  ``job.run()`` path every other executor uses — so remote results are
+  bit-identical to local ones.
+* :class:`DistributedExecutor` — implements the engine's one-method
+  :class:`~repro.engine.executor.Executor` protocol (plus the streaming
+  ``submit_batch``).  One feeder thread per remote connection *pulls*
+  chunks from a shared cursor, so fast hosts naturally take more work;
+  chunk sizes come from the PR-3 :class:`~repro.engine.executor.ChunkTuner`
+  keyed per ``(host, backend)`` — a slow machine gets smaller chunks
+  than a fast one, and interval chunks stay coarse while detailed
+  chunks go fine-grained.
+
+Fault handling: a worker that disconnects mid-chunk has its in-flight
+chunks re-queued on the surviving connections, and a serving host whose
+simulation process dies reports a re-queueable ``"crash"`` (its pool is
+rebuilt; only deterministic job errors are terminal).  Each chunk
+retries at most ``max_chunk_retries`` times, then the batch fails with
+a structured :class:`~repro.errors.SimulationError`; a batch whose
+every worker disappears fails the same way instead of hanging.  Because
+jobs are deterministic, a re-run chunk reproduces exactly the results
+the lost worker would have sent.
+
+With no hosts configured the executor degrades to a
+:class:`~repro.engine.executor.ParallelExecutor`, so
+``create_engine(hosts=hosts_from_env())`` is always safe to call.
+
+Security note: the transport pickles jobs and results, and the authkey
+(``REPRO_AUTHKEY``) is a shared secret for HMAC connection
+authentication, not encryption.  Run workers only on networks you
+trust, exactly as you would any simulation job queue.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from multiprocessing import AuthenticationError
+from multiprocessing.connection import Client, Listener
+from queue import SimpleQueue
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import EngineError, SimulationError
+from repro.engine.executor import (
+    DEFAULT_TARGET_CHUNK_SECONDS,
+    ChunkTuner,
+    ParallelExecutor,
+    carve_chunk,
+)
+from repro.engine.jobs import SimJob
+from repro.uarch.simulator import SimulationResult
+
+#: Bumped when the wire messages change incompatibly; a dispatcher
+#: refuses to talk to a worker speaking another version.
+PROTOCOL_VERSION = "repro-remote/v1"
+
+#: Default TCP port for ``repro worker serve``.
+DEFAULT_PORT = 7821
+
+#: Default shared secret for the HMAC connection handshake.  Override
+#: with ``REPRO_AUTHKEY`` whenever workers are reachable by anyone but
+#: you; it gates *authentication*, not encryption.
+DEFAULT_AUTHKEY = b"repro-workload-dynamics"
+
+#: How many times one chunk may be re-queued after worker disconnects
+#: before the batch fails with a structured error.
+DEFAULT_MAX_CHUNK_RETRIES = 2
+
+#: Upper bound on connections per host; the host's advertised capacity
+#: applies below this.
+MAX_CONNECTIONS_PER_HOST = 32
+
+#: Chunks kept in flight per connection.  With one request the serving
+#: side idles for a full round trip between chunks; with two, the next
+#: request is already buffered on the socket when a reply is sent, so
+#: reply transport overlaps the next chunk's simulation.
+PIPELINE_DEPTH = 2
+
+
+def authkey_from_env() -> bytes:
+    """The ``REPRO_AUTHKEY`` shared secret (or the built-in default)."""
+    raw = os.environ.get("REPRO_AUTHKEY", "")
+    return raw.encode("utf8") if raw else DEFAULT_AUTHKEY
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One remote worker endpoint."""
+
+    host: str
+    port: int = DEFAULT_PORT
+
+    @classmethod
+    def parse(cls, text: str) -> "HostSpec":
+        """Parse ``"host"`` or ``"host:port"`` (IPv4 / hostnames).
+
+        Bare IPv6 literals are rejected outright — ``::1`` would
+        otherwise silently parse as host ``:`` port ``1`` and fail
+        much later with a baffling connection error.
+        """
+        text = text.strip()
+        if not text:
+            raise EngineError("empty worker host specification")
+        host, sep, port_text = text.rpartition(":")
+        if not sep:
+            host = text
+        else:
+            try:
+                port = int(port_text)
+            except ValueError:
+                raise EngineError(
+                    f"invalid worker port in {text!r}: {port_text!r}"
+                )
+            if not host or not 0 < port < 65536:
+                raise EngineError(
+                    f"invalid worker host specification {text!r}"
+                )
+        if ":" in host:
+            raise EngineError(
+                f"invalid worker host specification {text!r}: IPv6 "
+                f"literals are not supported (use an IPv4 address or "
+                f"hostname)"
+            )
+        return cls(host=host) if not sep else cls(host=host, port=port)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+def parse_hosts(text: Optional[str]) -> List[HostSpec]:
+    """Parse a comma-separated ``host:port`` list (``None``/"" -> [])."""
+    if not text:
+        return []
+    return [HostSpec.parse(part)
+            for part in text.split(",") if part.strip()]
+
+
+def hosts_from_env() -> List[HostSpec]:
+    """Worker hosts from ``REPRO_HOSTS`` (comma-separated host:port)."""
+    return parse_hosts(os.environ.get("REPRO_HOSTS", ""))
+
+
+def _run_chunk_timed(jobs: Sequence[SimJob],
+                     ) -> Tuple[List[SimulationResult], float]:
+    """Run a chunk in the current process, timing the simulation only.
+
+    The elapsed seconds cover simulation (no queueing, no transport) —
+    the dispatcher's per-(host, backend) tuner needs the host's
+    intrinsic per-job speed, not its current load.
+    """
+    start = time.perf_counter()
+    results = [job.run() for job in jobs]
+    return results, time.perf_counter() - start
+
+
+def _run_chunk_blob(jobs_blob: bytes) -> bytes:
+    """Pool-worker entry on the serving host: blob in, blob out.
+
+    Jobs and results cross the wire — and the server's internal pool
+    pipe — as opaque pickle blobs, so the serving parent relays bytes
+    without ever traversing the result objects: the payload is pickled
+    exactly once (here, in the simulation process) and unpickled
+    exactly once (in the dispatcher), the same two passes the local
+    pickle transport pays.
+    """
+    results, elapsed = _run_chunk_timed(pickle.loads(jobs_blob))
+    return pickle.dumps((results, elapsed), pickle.HIGHEST_PROTOCOL)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class _PoolCrash(SimulationError):
+    """A serving host's simulation process died mid-chunk.
+
+    Reported to the dispatcher as a ``"crash"`` reply — re-queueable,
+    unlike a deterministic job error, which would fail identically on
+    every retry.
+    """
+
+
+class WorkerServer:
+    """Serves simulation chunks to dispatchers over TCP.
+
+    Accepts any number of dispatcher connections; each is handled by a
+    thread answering a strict request/reply protocol, and every chunk
+    executes on a shared :class:`ProcessPoolExecutor` of
+    ``max_workers`` processes (the capacity advertised in the
+    handshake).  A crashed pool worker fails only the chunk that
+    crashed it — the pool is rebuilt and the server keeps serving.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address.  ``port=0`` picks a free port; read it back from
+        :attr:`port` (the CLI prints it, so scripts can scrape it).
+    max_workers:
+        Simulation processes, and the advertised capacity; defaults to
+        the machine's CPU count.
+    authkey:
+        HMAC shared secret; defaults to ``REPRO_AUTHKEY``.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 max_workers: Optional[int] = None,
+                 authkey: Optional[bytes] = None):
+        if max_workers is not None and max_workers < 1:
+            raise EngineError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self._authkey = authkey if authkey is not None else authkey_from_env()
+        self._listener = Listener((host, port), family="AF_INET",
+                                  authkey=self._authkey)
+        self.host, self.port = self._listener.address
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self.chunks_served = 0
+
+    # ------------------------------------------------------------------
+    def _run_chunk(self, jobs_blob: bytes) -> bytes:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers)
+            pool = self._pool
+        try:
+            return pool.submit(_run_chunk_blob, jobs_blob).result()
+        except BrokenProcessPool as exc:
+            # The dead pool cannot serve the next chunk; rebuild lazily
+            # so one crashed simulation does not take the whole host
+            # down.
+            with self._pool_lock:
+                if self._pool is pool:
+                    self._pool = None
+                pool.shutdown(wait=False)
+            raise _PoolCrash(
+                "simulation process died while running the chunk"
+            ) from exc
+
+    def _serve_connection(self, conn) -> None:
+        try:
+            conn.send(("hello", PROTOCOL_VERSION, self.max_workers))
+            while not self._stop.is_set():
+                try:
+                    message = conn.recv()
+                except EOFError:
+                    break
+                kind = message[0]
+                if kind == "run":
+                    _, chunk_id, jobs_blob = message
+                    try:
+                        payload = self._run_chunk(jobs_blob)
+                    except _PoolCrash as exc:
+                        # Infrastructure failure, not a property of the
+                        # jobs: tell the dispatcher so it re-queues the
+                        # chunk (bounded retries) instead of failing
+                        # the whole batch.
+                        conn.send(("crash", chunk_id, str(exc)))
+                        continue
+                    except Exception as exc:
+                        conn.send(("err", chunk_id,
+                                   f"{type(exc).__name__}: {exc}"))
+                        continue
+                    with self._pool_lock:  # counter shared by conn threads
+                        self.chunks_served += 1
+                    conn.send(("ok", chunk_id, payload))
+                elif kind == "ping":
+                    conn.send(("pong", self.max_workers))
+                elif kind == "bye":
+                    break
+                else:
+                    conn.send(("err", None, f"unknown request {kind!r}"))
+        except (OSError, EOFError, BrokenPipeError):
+            pass  # dispatcher went away mid-reply; nothing to salvage
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def serve_forever(self) -> None:
+        """Accept dispatcher connections until :meth:`shutdown`."""
+        while not self._stop.is_set():
+            try:
+                conn = self._listener.accept()
+            except (OSError, EOFError):
+                if self._stop.is_set():
+                    break
+                continue  # failed handshake (wrong authkey, port scan)
+            except Exception:
+                continue  # AuthenticationError: reject, keep serving
+            thread = threading.Thread(target=self._serve_connection,
+                                      args=(conn,), daemon=True)
+            thread.start()
+
+    def start(self) -> "WorkerServer":
+        """Serve on a daemon thread (in-process workers for tests)."""
+        self._accept_thread = threading.Thread(target=self.serve_forever,
+                                               daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop accepting, close the listener, stop the pool."""
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = None
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+
+
+# ----------------------------------------------------------------------
+# Dispatcher side
+# ----------------------------------------------------------------------
+class _Slot:
+    """One live connection to a worker host (= one in-flight chunk)."""
+
+    def __init__(self, spec: HostSpec, conn, index: int):
+        self.spec = spec
+        self.conn = conn
+        self.index = index
+        self.alive = True
+
+    @property
+    def key(self) -> str:
+        return str(self.spec)
+
+    def close(self) -> None:
+        self.alive = False
+        try:
+            self.conn.send(("bye",))
+        except (OSError, EOFError, BrokenPipeError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class _BatchState:
+    """Shared dispatch state for one submitted batch.
+
+    Feeder threads pull spans from :meth:`take` — re-queued spans
+    first, then fresh spans carved off the cursor at the size the
+    tuner plans for that feeder's ``(host, backend)``.  ``take``
+    blocks while other feeders still have spans in flight: a feeder
+    that ran out of fresh work must stay available to adopt a dying
+    sibling's chunk, otherwise a late disconnect could strand it.
+    """
+
+    def __init__(self, jobs: List[SimJob], tuner: ChunkTuner,
+                 chunk_size: Optional[int], max_retries: int,
+                 n_feeders: int):
+        self.jobs = jobs
+        self.tuner = tuner
+        self.chunk_size = chunk_size
+        self.max_retries = max_retries
+        self.n_feeders = n_feeders
+        self.results: "SimpleQueue[Tuple]" = SimpleQueue()
+        self.requeues = 0
+        self._cond = threading.Condition()
+        self._cursor = 0
+        self._inflight = 0
+        self._requeued: "deque[Tuple[int, int, int]]" = deque()
+        self._failed = False
+
+    # ------------------------------------------------------------------
+    def take(self, slot: _Slot,
+             block: bool = True) -> Optional[Tuple[int, int, int]]:
+        """Next ``(start, stop, retries)`` span for ``slot``, or None.
+
+        Blocking mode returns ``None`` only once the batch needs no
+        further dispatch (fully carved and nothing in flight, or
+        failed); non-blocking mode also returns ``None`` when there is
+        simply no span available *right now* — used to top up a
+        connection's pipeline without parking the feeder while it
+        still has replies to collect.
+        """
+        jobs = self.jobs
+        n = len(jobs)
+        with self._cond:
+            while True:
+                if self._failed:
+                    return None
+                if self._requeued:
+                    self._inflight += 1
+                    return self._requeued.popleft()
+                if self._cursor < n:
+                    start = self._cursor
+                    size = self.chunk_size or self.tuner.plan(
+                        (slot.key, jobs[start].backend), n, self.n_feeders)
+                    stop = carve_chunk(jobs, start, size)
+                    self._cursor = stop
+                    self._inflight += 1
+                    return (start, stop, 0)
+                if not block or self._inflight == 0:
+                    return None  # drained — or nothing available now
+                # Fresh work is exhausted but chunks are in flight on
+                # other connections; stay parked in case one comes back.
+                self._cond.wait()
+
+    def complete(self, span: Tuple[int, int, int],
+                 results: List[SimulationResult]) -> None:
+        self.results.put(("ok", span[0], results))
+        with self._cond:
+            self._inflight -= 1
+            self._cond.notify_all()
+
+    def abandon(self, span: Tuple[int, int, int], slot: _Slot) -> None:
+        """Re-queue a span lost to a worker failure (bounded retries)."""
+        start, stop, retries = span
+        with self._cond:
+            self._inflight -= 1
+            if retries >= self.max_retries:
+                self._failed = True
+                self.results.put(("err", SimulationError(
+                    f"chunk (jobs {start}..{stop} of a "
+                    f"{len(self.jobs)}-job batch) was lost to worker "
+                    f"failures {retries + 1} times (last host: "
+                    f"{slot.key}); giving up after max_chunk_retries="
+                    f"{self.max_retries}"
+                )))
+            else:
+                self.requeues += 1
+                self._requeued.append((start, stop, retries + 1))
+            self._cond.notify_all()
+
+    def fail(self, error: BaseException) -> None:
+        """A worker reported a job error: terminal for the batch."""
+        with self._cond:
+            self._failed = True
+            self._inflight -= 1
+            self.results.put(("err", error))
+            self._cond.notify_all()
+
+
+class DistributedExecutor:
+    """Fans job batches out to ``repro worker serve`` hosts.
+
+    Implements the same ``run_batch`` / ``submit_batch`` surface as
+    :class:`~repro.engine.executor.ParallelExecutor`, so
+    :class:`~repro.engine.executor.ExecutionEngine` (and therefore
+    caching, deduplication, streaming ``BatchHandle`` consumption, and
+    every sweep runner) works unchanged on top of a cluster.
+
+    Parameters
+    ----------
+    hosts:
+        ``"host:port"`` strings or :class:`HostSpec` objects.  An empty
+        list degrades to a local :class:`ParallelExecutor` — the
+        executor is then exactly PR-3's.
+    authkey:
+        HMAC shared secret (default ``REPRO_AUTHKEY``).
+    chunk_size:
+        Fixed jobs-per-chunk; disables the per-(host, backend) tuner.
+    target_chunk_seconds:
+        Tuner's per-chunk wall-time target.
+    max_chunk_retries:
+        How many times a chunk may be re-queued after disconnects.
+    connections_per_host:
+        Cap on connections (= concurrent chunks) per host; the host's
+        advertised capacity applies below this.
+    fallback_jobs, shm:
+        Forwarded to the no-hosts :class:`ParallelExecutor` fallback.
+    """
+
+    def __init__(self, hosts: Sequence[Union[str, HostSpec]] = (),
+                 authkey: Optional[bytes] = None,
+                 chunk_size: Optional[int] = None,
+                 target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
+                 max_chunk_retries: int = DEFAULT_MAX_CHUNK_RETRIES,
+                 connections_per_host: int = MAX_CONNECTIONS_PER_HOST,
+                 fallback_jobs: Optional[int] = None,
+                 shm: Optional[bool] = None):
+        if chunk_size is not None and chunk_size < 1:
+            raise EngineError(f"chunk_size must be >= 1, got {chunk_size}")
+        if max_chunk_retries < 0:
+            raise EngineError(
+                f"max_chunk_retries must be >= 0, got {max_chunk_retries}"
+            )
+        if connections_per_host < 1:
+            raise EngineError(
+                f"connections_per_host must be >= 1, "
+                f"got {connections_per_host}"
+            )
+        self.hosts: List[HostSpec] = [
+            HostSpec.parse(h) if isinstance(h, str) else h for h in hosts
+        ]
+        self._authkey = authkey if authkey is not None else authkey_from_env()
+        self.chunk_size = chunk_size
+        self.tuner = ChunkTuner(target_seconds=target_chunk_seconds)
+        self.max_chunk_retries = max_chunk_retries
+        self.connections_per_host = min(connections_per_host,
+                                        MAX_CONNECTIONS_PER_HOST)
+        self._fallback_jobs = fallback_jobs
+        self._shm = shm
+        self._fallback: Optional[ParallelExecutor] = None
+        self._slots: List[_Slot] = []
+        self._capacity: dict = {}  # host -> advertised capacity
+        self._feeders: List[threading.Thread] = []
+        #: Chunks re-queued after worker disconnects, across batches.
+        self.requeued_chunks = 0
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def _open_host(self, spec: HostSpec, existing: int = 0) -> List[_Slot]:
+        """Open connections to one host, up to its advertised capacity.
+
+        ``existing`` live connections are counted against the capacity,
+        so a partially degraded host is topped back up rather than
+        duplicated.
+        """
+        slots: List[_Slot] = []
+        # The advertised capacity is only learned from a handshake;
+        # remember it so topping up a degraded host never overshoots.
+        capacity = self._capacity.get(str(spec), self.connections_per_host)
+        while existing + len(slots) < capacity:
+            try:
+                conn = Client(spec.address, authkey=self._authkey)
+                hello = conn.recv()
+            except (OSError, EOFError, AuthenticationError) as exc:
+                if slots:
+                    break  # host accepted some connections: use those
+                raise SimulationError(
+                    f"cannot connect to worker {spec}: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+            if hello[0] != "hello" or hello[1] != PROTOCOL_VERSION:
+                conn.close()
+                raise SimulationError(
+                    f"worker {spec} answered the handshake with "
+                    f"{hello!r}; this dispatcher speaks {PROTOCOL_VERSION}"
+                )
+            capacity = min(self.connections_per_host, int(hello[2]))
+            self._capacity[str(spec)] = capacity
+            slots.append(_Slot(spec, conn, existing + len(slots)))
+        return slots
+
+    def _connect(self) -> List[_Slot]:
+        """Live slots, (re)connecting or topping up degraded hosts."""
+        by_host: dict = {}
+        for slot in self._slots:
+            if slot.alive:
+                by_host.setdefault(slot.key, []).append(slot)
+        slots: List[_Slot] = [s for group in by_host.values() for s in group]
+        errors: List[str] = []
+        for spec in self.hosts:
+            existing = by_host.get(str(spec), [])
+            try:
+                slots.extend(self._open_host(spec, existing=len(existing)))
+            except SimulationError as exc:
+                # A host with live connections keeps serving at reduced
+                # width; a fully unreachable one is reported.
+                if not existing:
+                    errors.append(str(exc))
+        if not slots:
+            raise SimulationError(
+                "no remote workers reachable: " + "; ".join(errors)
+                if errors else "no remote workers configured"
+            )
+        self._slots = slots
+        return slots
+
+    def _get_fallback(self) -> ParallelExecutor:
+        if self._fallback is None:
+            self._fallback = ParallelExecutor(
+                max_workers=self._fallback_jobs, shm=self._shm,
+                chunk_size=self.chunk_size)
+        return self._fallback
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _feed(self, slot: _Slot, state: _BatchState) -> None:
+        """Feeder thread: pull spans, ship them to one connection.
+
+        Keeps up to :data:`PIPELINE_DEPTH` chunks in flight so the
+        serving side finds the next request already buffered when it
+        finishes a reply; every pending span is re-queued if the
+        connection dies.
+        """
+        pending: "deque[Tuple[int, int, int]]" = deque()
+        try:
+            try:
+                while True:
+                    while len(pending) < PIPELINE_DEPTH:
+                        span = state.take(slot, block=not pending)
+                        if span is None:
+                            break
+                        pending.append(span)
+                        start, stop, _ = span
+                        blob = pickle.dumps(state.jobs[start:stop],
+                                            pickle.HIGHEST_PROTOCOL)
+                        slot.conn.send(("run", start, blob))
+                    if not pending:
+                        break  # blocking take said the batch is drained
+                    reply = slot.conn.recv()
+                    span = pending.popleft()
+                    start, stop, _ = span
+                    if reply[1] != start:
+                        # Request/reply desync: this connection can no
+                        # longer be trusted to label results correctly.
+                        # Treat it like a disconnect so its spans re-run
+                        # elsewhere and nothing stale is ever delivered.
+                        raise EOFError(
+                            f"worker {slot.key} answered chunk "
+                            f"{reply[1]!r} to a request for chunk {start}"
+                        )
+                    if reply[0] == "ok":
+                        results, elapsed = pickle.loads(reply[2])
+                        if results:
+                            state.tuner.record(
+                                (slot.key, state.jobs[start].backend),
+                                elapsed / len(results))
+                        state.complete(span, results)
+                    elif reply[0] == "crash":
+                        # The host's simulation process died but the
+                        # host itself is fine (it rebuilt its pool):
+                        # re-queue the chunk with bounded retries and
+                        # keep feeding this connection.
+                        state.abandon(span, slot)
+                    else:
+                        # A job error aborts the batch; a reply for this
+                        # feeder's second pipelined chunk may still be
+                        # inbound, so retire the connection rather than
+                        # let the next batch read a stale reply.
+                        slot.close()
+                        state.fail(SimulationError(
+                            f"worker {slot.key} failed jobs "
+                            f"{start}..{stop}: {reply[2]}"
+                        ))
+                        return
+            except (OSError, EOFError, BrokenPipeError):
+                slot.close()
+                for span in pending:
+                    state.abandon(span, slot)
+                pending.clear()
+        except BaseException as exc:  # defensive: never strand the batch
+            slot.close()
+            state.fail(SimulationError(
+                f"dispatcher thread for worker {slot.key} crashed: {exc!r}"
+            ))
+        finally:
+            state.results.put(("done",))
+
+    def submit_batch(self, jobs: Sequence[SimJob],
+                     ) -> Iterator[Tuple[int, SimulationResult]]:
+        """Dispatch the batch to the worker fleet; stream completions.
+
+        Chunks are dispatched the moment this method returns (feeder
+        threads start immediately); results are yielded in completion
+        order as ``(job_index, result)`` pairs, exactly like the other
+        executors, so ``BatchHandle.as_completed()`` works unchanged.
+        """
+        jobs = list(jobs)
+        if not self.hosts:
+            return self._get_fallback().submit_batch(jobs)
+        if not jobs:
+            return iter(())
+        # One batch owns the connections at a time: an abandoned
+        # predecessor finishes in the background first.
+        for thread in self._feeders:
+            thread.join()
+        slots = self._connect()
+        state = _BatchState(jobs, self.tuner, self.chunk_size,
+                            self.max_chunk_retries, n_feeders=len(slots))
+        self._feeders = [
+            threading.Thread(target=self._feed, args=(slot, state),
+                             daemon=True)
+            for slot in slots
+        ]
+        for thread in self._feeders:
+            thread.start()
+        return self._drain(state)
+
+    def _drain(self, state: _BatchState,
+               ) -> Iterator[Tuple[int, SimulationResult]]:
+        n = len(state.jobs)
+        delivered = 0
+        finished_feeders = 0
+        try:
+            while delivered < n:
+                item = state.results.get()
+                kind = item[0]
+                if kind == "ok":
+                    start, results = item[1], item[2]
+                    for j, result in enumerate(results):
+                        yield start + j, result
+                    delivered += len(results)
+                elif kind == "err":
+                    raise item[1]
+                else:  # "done": one feeder exited
+                    finished_feeders += 1
+                    if finished_feeders >= state.n_feeders:
+                        # Every ok/err a feeder produced precedes its
+                        # "done" in the FIFO queue, so at this point the
+                        # queue held everything there will ever be.
+                        raise SimulationError(
+                            f"all remote workers disconnected with "
+                            f"{n - delivered} of {n} jobs unfinished"
+                        )
+        finally:
+            self.requeued_chunks += state.requeues
+
+    def run_batch(self, jobs: Sequence[SimJob]) -> List[SimulationResult]:
+        jobs = list(jobs)
+        ordered: List[Optional[SimulationResult]] = [None] * len(jobs)
+        for i, result in self.submit_batch(jobs):
+            ordered[i] = result
+        return ordered  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def ping(self) -> List[Tuple[str, int]]:
+        """(host, capacity) for every reachable configured host.
+
+        Waits for any in-flight batch first — connections are not
+        thread-safe, and a ping racing a feeder's request/reply cycle
+        would desync the stream.
+        """
+        for thread in self._feeders:
+            thread.join()
+        self._feeders = []
+        reachable = []
+        pinged = set()
+        for slot in self._connect():
+            if slot.key in pinged:
+                continue
+            pinged.add(slot.key)
+            try:
+                slot.conn.send(("ping",))
+                reply = slot.conn.recv()
+            except (OSError, EOFError, BrokenPipeError):
+                slot.alive = False
+                continue
+            reachable.append((slot.key, int(reply[1])))
+        return reachable
+
+    def close(self) -> None:
+        """Wait for in-flight work, then close every connection."""
+        for thread in self._feeders:
+            thread.join()
+        self._feeders = []
+        for slot in self._slots:
+            slot.close()
+        self._slots = []
+        if self._fallback is not None:
+            self._fallback.close()
+            self._fallback = None
+
+    def __enter__(self) -> "DistributedExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

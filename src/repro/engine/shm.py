@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import mmap
 import os
+import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -125,7 +126,7 @@ class ShmArena:
         self._shm = shm
         self.spec = spec
         self._owner = owner
-        self._unlinked = False
+        self._finalizer: Optional[weakref.finalize] = None
         self._trace_mats: Optional[List[np.ndarray]] = None
         self._comp_block: Optional[np.ndarray] = None
         self._trace_mats_ro: Optional[List[np.ndarray]] = None
@@ -152,6 +153,13 @@ class ShmArena:
                 # own the mapping, so materialize() copies instead.
                 self._buffer = shm.buf
                 self.zero_copy = False
+            # The finalizer — not __del__, whose ordering during
+            # interpreter shutdown is undefined — removes the segment's
+            # name exactly once: on explicit unlink(), when the last
+            # arena reference drops (abandoned batch), or at interpreter
+            # exit via atexit.  It holds the SharedMemory object, never
+            # the arena, so it cannot resurrect self.
+            self._finalizer = weakref.finalize(self, _unlink_segment, shm)
         else:
             self._buffer = shm.buf
 
@@ -379,7 +387,7 @@ class ShmArena:
 
     @property
     def unlinked(self) -> bool:
-        return self._unlinked
+        return self._finalizer is not None and not self._finalizer.alive
 
     def unlink(self) -> None:
         """Remove the arena's name from the system (parent, at batch end).
@@ -387,14 +395,13 @@ class ShmArena:
         The mapping — and every view handed out by :meth:`materialize`
         — stays valid until the arrays are garbage collected; only new
         attaches become impossible and the kernel reclaims the memory
-        once the last mapping drops.
+        once the last mapping drops.  Backed by a ``weakref.finalize``
+        on the segment, so the unlink happens **exactly once** whether
+        it is called explicitly, the arena is garbage collected
+        (abandoned batch), or the interpreter exits.
         """
-        if self._owner and not self._unlinked:
-            self._unlinked = True
-            try:
-                self._shm.unlink()
-            except (OSError, FileNotFoundError):
-                pass
+        if self._finalizer is not None:
+            self._finalizer()
 
     def release(self) -> None:
         """Drop array views and close the mapping (worker, after writes)."""
@@ -406,16 +413,13 @@ class ShmArena:
             # A view escaped; the mapping lives until it is collected.
             pass
 
-    def __del__(self):
-        # Safety net for abandoned batches: a stream that is never
-        # iterated never reaches the executor's unlink-in-finally, so
-        # the last reference dropping (batch replaced, executor closed)
-        # must remove the segment's name.  unlink() is idempotent and
-        # owner-only; delivered views never depend on it.
-        try:
-            self.unlink()
-        except Exception:
-            pass
+
+def _unlink_segment(shm: shared_memory.SharedMemory) -> None:
+    """Finalizer target: remove a segment's name, swallowing races."""
+    try:
+        shm.unlink()
+    except (OSError, FileNotFoundError):
+        pass  # already gone (another process, or a prior explicit unlink)
 
 
 def write_results(spec: ArenaSpec, rows: Sequence[int],

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -84,17 +85,29 @@ def engine_from_env(jobs: Optional[int] = None,
                     cache_dir=None,
                     cache_max_bytes: Optional[int] = None,
                     on_result=None,
-                    shm: Optional[bool] = None) -> ExecutionEngine:
+                    shm: Optional[bool] = None,
+                    hosts=None,
+                    checkpoint_every: Optional[int] = None,
+                    checkpoint_dir=None) -> ExecutionEngine:
     """Build an engine from environment knobs, with optional overrides.
 
     ``REPRO_JOBS`` selects the worker-process count (parallel sweep
     execution when > 1), ``REPRO_CACHE_DIR`` enables the on-disk result
     cache, ``REPRO_CACHE_MAX_BYTES`` caps its size (mtime-LRU
-    eviction), and ``REPRO_SHM`` toggles the zero-copy shared-memory
-    result transport (default on).  Explicit arguments (the CLI's
-    ``--jobs`` / ``--cache-dir`` / ``--cache-max-bytes`` / ``--shm``
-    flags) take precedence over the environment.
+    eviction, ties broken by filename), ``REPRO_SHM`` toggles the
+    zero-copy shared-memory result transport (default on), and
+    ``REPRO_HOSTS`` (comma-separated ``host:port`` of ``repro worker
+    serve`` processes) dispatches sweeps to remote machines.  Explicit
+    arguments (the CLI's ``--jobs`` / ``--cache-dir`` /
+    ``--cache-max-bytes`` / ``--shm`` / ``--hosts`` flags) take
+    precedence over the environment.  This function only *reads* the
+    environment — checkpoint and host settings are resolved here into
+    explicit engine configuration that travels inside the pickled jobs
+    (so ``REPRO_CHECKPOINT_EVERY`` works on remote hosts whose own
+    environment lacks it), never through ``os.environ`` mutation.
     """
+    from repro.engine.remote import hosts_from_env, parse_hosts
+
     if jobs is None:
         jobs_env = os.environ.get("REPRO_JOBS", "").strip()
         try:
@@ -113,9 +126,31 @@ def engine_from_env(jobs: Optional[int] = None,
             raise ExperimentError(
                 f"REPRO_CACHE_MAX_BYTES must be an integer, got {cap_env!r}"
             )
+    if hosts is None:
+        hosts = hosts_from_env()
+    elif isinstance(hosts, str):
+        hosts = parse_hosts(hosts)
+    if checkpoint_every is None:
+        every_env = os.environ.get("REPRO_CHECKPOINT_EVERY", "").strip()
+        if every_env:
+            try:
+                checkpoint_every = int(every_env)
+            except ValueError:
+                raise ExperimentError(
+                    f"REPRO_CHECKPOINT_EVERY must be an integer, "
+                    f"got {every_env!r}"
+                )
+    if checkpoint_every and checkpoint_dir is None:
+        # Pin the directory too: a remote worker must not fall back to
+        # its own (different) environment for where snapshots live.
+        checkpoint_dir = (os.environ.get("REPRO_CHECKPOINT_DIR", "").strip()
+                          or (str(Path(cache_dir) / "checkpoints")
+                              if cache_dir else ".repro-checkpoints"))
     return create_engine(jobs=jobs, cache_dir=cache_dir,
                          cache_max_bytes=cache_max_bytes,
-                         on_result=on_result, shm=shm)
+                         on_result=on_result, shm=shm, hosts=hosts,
+                         checkpoint_every=checkpoint_every,
+                         checkpoint_dir=checkpoint_dir)
 
 
 class ExperimentContext:

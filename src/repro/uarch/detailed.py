@@ -48,33 +48,54 @@ CHECKPOINT_VERSION = "ckpt/v1"
 _TRACE_FIELDS = ("cpi", "power", "avf", "iq_avf", "mispredicts", "throttled")
 
 
+def _default_checkpoint_dir() -> str:
+    """Directory snapshots land in when none is configured explicitly:
+    ``$REPRO_CHECKPOINT_DIR``, else ``$REPRO_CACHE_DIR/checkpoints``
+    when a cache directory is configured, else ``.repro-checkpoints``.
+    """
+    directory = os.environ.get("REPRO_CHECKPOINT_DIR", "").strip()
+    if directory:
+        return directory
+    cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    return (str(Path(cache_dir) / "checkpoints") if cache_dir
+            else ".repro-checkpoints")
+
+
+def resolve_checkpoint_settings(every: Optional[int] = None,
+                                directory: Optional[str] = None,
+                                ) -> Tuple[int, Optional[str]]:
+    """Effective ``(checkpoint_every, checkpoint_dir)`` for one run.
+
+    Explicit arguments — the values a :class:`~repro.engine.jobs.SimJob`
+    carries — win; the ``REPRO_CHECKPOINT_EVERY`` /
+    ``REPRO_CHECKPOINT_DIR`` environment only fills the gaps, so
+    checkpoint settings normally travel *inside* jobs (to pool workers
+    and remote hosts alike) and the environment is never mutated to
+    transport them.
+    """
+    if every is None:
+        raw = os.environ.get("REPRO_CHECKPOINT_EVERY", "").strip()
+        if not raw:
+            return 0, None
+        try:
+            every = int(raw)
+        except ValueError:
+            raise SimulationError(
+                f"REPRO_CHECKPOINT_EVERY must be an integer, got {raw!r}"
+            )
+    if every <= 0:
+        return 0, None
+    return every, (directory or _default_checkpoint_dir())
+
+
 def checkpoint_settings_from_env() -> Tuple[int, Optional[str]]:
     """The ``(checkpoint_every, checkpoint_dir)`` environment knobs.
 
-    ``REPRO_CHECKPOINT_EVERY`` (intervals between snapshots; unset or
-    ``<= 0`` disables checkpointing) and ``REPRO_CHECKPOINT_DIR``
-    (defaulting to ``$REPRO_CACHE_DIR/checkpoints`` when a cache
-    directory is configured, else ``.repro-checkpoints``).  Read by
-    :meth:`repro.engine.jobs.SimJob.run` in every worker process, so
-    the CLI's ``--checkpoint-every`` flag only has to export them.
+    Kept for library users who configure checkpointing through the
+    environment; equivalent to :func:`resolve_checkpoint_settings` with
+    no explicit overrides.
     """
-    raw = os.environ.get("REPRO_CHECKPOINT_EVERY", "").strip()
-    if not raw:
-        return 0, None
-    try:
-        every = int(raw)
-    except ValueError:
-        raise SimulationError(
-            f"REPRO_CHECKPOINT_EVERY must be an integer, got {raw!r}"
-        )
-    if every <= 0:
-        return 0, None
-    directory = os.environ.get("REPRO_CHECKPOINT_DIR", "").strip()
-    if not directory:
-        cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip()
-        directory = (str(Path(cache_dir) / "checkpoints") if cache_dir
-                     else ".repro-checkpoints")
-    return every, directory
+    return resolve_checkpoint_settings(None, None)
 
 
 def _checkpoint_meta(workload: WorkloadModel, config: MachineConfig,

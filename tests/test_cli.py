@@ -86,40 +86,57 @@ class TestEngineFlags:
         assert code == 0
         assert "2 worker(s)" in text
 
-    def test_checkpoint_every_exports_env(self, monkeypatch, tmp_path):
+    def test_checkpoint_flag_threads_through_engine_not_env(
+            self, monkeypatch, tmp_path):
         import argparse
         import os
 
         from repro.cli import _make_engine
+        from repro.engine import SimJob
+        from repro.uarch.params import baseline_config
 
         monkeypatch.delenv("REPRO_CHECKPOINT_EVERY", raising=False)
         monkeypatch.delenv("REPRO_CHECKPOINT_DIR", raising=False)
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        before = dict(os.environ)
         args = argparse.Namespace(
             jobs=None, cache_dir=str(tmp_path / "cache"),
             cache_max_bytes=None, progress=False, shm=None,
-            checkpoint_every=5,
+            checkpoint_every=5, hosts=None,
         )
-        _make_engine(args)
-        # Workers (forked after engine creation) read these in SimJob.run.
-        assert os.environ["REPRO_CHECKPOINT_EVERY"] == "5"
-        assert os.environ["REPRO_CHECKPOINT_DIR"].endswith("checkpoints")
-        monkeypatch.delenv("REPRO_CHECKPOINT_EVERY")
-        monkeypatch.delenv("REPRO_CHECKPOINT_DIR")
+        engine = _make_engine(args)
+        # The settings live on the engine and are stamped onto detailed
+        # jobs (pickled to any worker, local or remote) — never exported.
+        assert os.environ == before
+        assert engine.checkpoint_every == 5
+        assert engine.checkpoint_dir == str(
+            tmp_path / "cache" / "checkpoints")
+        job = engine._configure_job(
+            SimJob("gcc", baseline_config(), backend="detailed",
+                   n_samples=8, instructions_per_sample=40))
+        assert job.checkpoint_every == 5
+        assert job.checkpoint_dir == engine.checkpoint_dir
+        # The key ignores checkpoint plumbing: one cache entry either way.
+        assert job.key() == SimJob(
+            "gcc", baseline_config(), backend="detailed",
+            n_samples=8, instructions_per_sample=40).key()
 
-    def test_checkpoint_env_restored_after_main(self, monkeypatch, tmp_path):
+    def test_no_repro_env_mutation_after_main(self, monkeypatch, tmp_path):
         import os
 
         monkeypatch.delenv("REPRO_CHECKPOINT_EVERY", raising=False)
         monkeypatch.delenv("REPRO_CHECKPOINT_DIR", raising=False)
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        before = dict(os.environ)
         code, _ = _run(["sweep", "gcc", "--n-train", "2", "--n-test", "1",
                         "--samples", "64", "--checkpoint-every", "5",
                         "--cache-dir", str(tmp_path / "cache")])
         assert code == 0
-        # No leak into the embedding process once the command returns.
-        assert "REPRO_CHECKPOINT_EVERY" not in os.environ
-        assert "REPRO_CHECKPOINT_DIR" not in os.environ
+        assert os.environ == before
+        code, _ = _run(["run-experiment", "table2", "--scale", "quick"])
+        assert code == 0
+        assert os.environ == before  # notably: no REPRO_SCALE leak
 
     def test_env_driven_checkpointing_follows_cache_dir_flag(
             self, monkeypatch, tmp_path):
@@ -131,12 +148,43 @@ class TestEngineFlags:
         monkeypatch.setenv("REPRO_CHECKPOINT_EVERY", "8")  # env, not flag
         monkeypatch.delenv("REPRO_CHECKPOINT_DIR", raising=False)
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        before = dict(os.environ)
         args = argparse.Namespace(
             jobs=None, cache_dir=str(tmp_path / "cache"),
             cache_max_bytes=None, progress=False, shm=None,
-            checkpoint_every=None,
+            checkpoint_every=None, hosts=None,
         )
-        _make_engine(args)
-        assert os.environ["REPRO_CHECKPOINT_DIR"] == str(
+        engine = _make_engine(args)
+        assert os.environ == before
+        assert engine.checkpoint_dir == str(
             tmp_path / "cache" / "checkpoints")
-        monkeypatch.delenv("REPRO_CHECKPOINT_DIR")
+        # Env-driven settings are resolved into explicit engine config
+        # so they ride inside the jobs to remote hosts whose own
+        # environment lacks them.
+        assert engine.checkpoint_every == 8
+
+    def test_checkpoint_every_zero_flag_overrides_env(self, monkeypatch,
+                                                      tmp_path):
+        import argparse
+
+        from repro.cli import _make_engine
+        from repro.engine import SimJob
+        from repro.uarch.params import baseline_config
+
+        monkeypatch.setenv("REPRO_CHECKPOINT_EVERY", "8")
+        monkeypatch.delenv("REPRO_CHECKPOINT_DIR", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        args = argparse.Namespace(
+            jobs=None, cache_dir=str(tmp_path / "cache"),
+            cache_max_bytes=None, progress=False, shm=None,
+            checkpoint_every=0, hosts=None,  # flag: explicitly disable
+        )
+        engine = _make_engine(args)
+        assert engine.checkpoint_every == 0
+        job = engine._configure_job(
+            SimJob("gcc", baseline_config(), backend="detailed",
+                   n_samples=8, instructions_per_sample=40))
+        assert job.checkpoint_every == 0  # 0 wins over the environment
+        from repro.uarch.detailed import resolve_checkpoint_settings
+
+        assert resolve_checkpoint_settings(0, None) == (0, None)

@@ -1,0 +1,370 @@
+"""Tests for the distributed executor (:mod:`repro.engine.remote`).
+
+Pins the PR-4 tentpole guarantees: a loopback-hosts sweep through
+:class:`DistributedExecutor` is bit-identical to :class:`LocalExecutor`
+for both backends, the streaming ``BatchHandle`` surface works
+unchanged on top of it, a worker killed mid-batch has its in-flight
+chunk re-queued on the survivors, remote job errors come back as
+structured :class:`SimulationError`\\ s, and an empty host list degrades
+to the local :class:`ParallelExecutor`.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.dse.runner import SweepRunner
+from repro.dse.space import paper_design_space
+from repro.engine import (
+    DistributedExecutor,
+    ExecutionEngine,
+    HostSpec,
+    LocalExecutor,
+    ParallelExecutor,
+    ResultCache,
+    SimJob,
+    WorkerServer,
+    create_engine,
+    hosts_from_env,
+    parse_hosts,
+)
+from repro.engine.remote import PROTOCOL_VERSION, _run_chunk_timed
+from repro.errors import EngineError, SimulationError
+
+
+@pytest.fixture(scope="module")
+def configs():
+    return paper_design_space().sample_random(6, split="train", seed=31)
+
+
+@pytest.fixture(scope="module")
+def servers():
+    """Two in-process loopback workers, one simulation process each."""
+    started = [WorkerServer(max_workers=1).start(),
+               WorkerServer(max_workers=1).start()]
+    yield started
+    for server in started:
+        server.shutdown()
+
+
+def _hosts(servers):
+    return [f"127.0.0.1:{server.port}" for server in servers]
+
+
+class _KillPoolJob(SimJob):
+    """A job that kills the serving host's simulation process."""
+
+    def run(self):
+        os._exit(1)
+
+
+def _assert_results_equal(a, b):
+    assert a.benchmark == b.benchmark and a.backend == b.backend
+    assert a.config == b.config and a.n_samples == b.n_samples
+    for domain in a.traces:
+        assert np.array_equal(a.traces[domain], b.traces[domain])
+    assert list(a.components) == list(b.components)
+    for name in a.components:
+        assert np.array_equal(a.components[name], b.components[name])
+
+
+class TestHostParsing:
+    def test_parse_host_port(self):
+        spec = HostSpec.parse("worker-3.lab:9001")
+        assert spec.host == "worker-3.lab" and spec.port == 9001
+        assert str(spec) == "worker-3.lab:9001"
+
+    def test_default_port(self):
+        from repro.engine.remote import DEFAULT_PORT
+
+        assert HostSpec.parse("workerhost").port == DEFAULT_PORT
+
+    def test_invalid_specs_rejected(self):
+        for bad in ("", "host:notaport", ":123", "host:0", "host:70000",
+                    "::1", "fe80::1:7821"):  # IPv6 literals: clean error
+            with pytest.raises(EngineError):
+                HostSpec.parse(bad)
+
+    def test_parse_hosts_list(self):
+        specs = parse_hosts("a:1000, b:2000,,c")
+        assert [s.host for s in specs] == ["a", "b", "c"]
+        assert parse_hosts("") == []
+        assert parse_hosts(None) == []
+
+    def test_hosts_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HOSTS", "x:1234,y:5678")
+        assert [str(s) for s in hosts_from_env()] == ["x:1234", "y:5678"]
+        monkeypatch.delenv("REPRO_HOSTS")
+        assert hosts_from_env() == []
+
+
+class TestLoopbackParity:
+    def test_interval_bit_identical_to_local(self, servers, configs):
+        jobs = [SimJob("gcc", c, n_samples=64) for c in configs]
+        local = LocalExecutor().run_batch(jobs)
+        with DistributedExecutor(_hosts(servers)) as ex:
+            remote = ex.run_batch(jobs)
+        assert len(remote) == len(jobs)
+        for a, b in zip(local, remote):
+            _assert_results_equal(a, b)
+
+    def test_detailed_bit_identical_to_local(self, servers, configs):
+        jobs = [SimJob("mcf", c, backend="detailed", n_samples=4,
+                       instructions_per_sample=50) for c in configs[:3]]
+        local = LocalExecutor().run_batch(jobs)
+        with DistributedExecutor(_hosts(servers)) as ex:
+            remote = ex.run_batch(jobs)
+        for a, b in zip(local, remote):
+            _assert_results_equal(a, b)
+
+    def test_work_spreads_across_hosts(self, servers, configs):
+        jobs = [SimJob("gcc", c, n_samples=32) for c in configs] * 4
+        before = [server.chunks_served for server in servers]
+        with DistributedExecutor(_hosts(servers), chunk_size=2) as ex:
+            ex.run_batch(jobs)
+        served = [server.chunks_served - b
+                  for server, b in zip(servers, before)]
+        assert sum(served) == len(jobs) // 2
+        assert all(count > 0 for count in served)  # both hosts pulled
+
+    def test_tuner_keyed_per_host_and_backend(self, servers, configs):
+        with DistributedExecutor(_hosts(servers)) as ex:
+            ex.run_batch([SimJob("gcc", c, n_samples=32) for c in configs])
+            keys = list(ex.tuner._tuned)
+        assert keys, "loopback batch should record chunk timings"
+        assert all(backend == "interval" for _, backend in keys)
+        assert len({host for host, _ in keys}) >= 1  # per-host entries
+
+    def test_sweep_runner_matches_sequential(self, servers, configs):
+        seq = SweepRunner(n_samples=32).run_configs("vpr", configs)
+        with DistributedExecutor(_hosts(servers)) as ex:
+            dist = SweepRunner(
+                n_samples=32, engine=ExecutionEngine(ex),
+            ).run_configs("vpr", configs)
+        for domain in seq.domains:
+            assert np.array_equal(seq.domain(domain), dist.domain(domain))
+
+
+class TestEngineIntegration:
+    def test_streaming_handle_unchanged(self, servers, configs):
+        jobs = [SimJob("gcc", c, n_samples=32) for c in configs]
+        with DistributedExecutor(_hosts(servers)) as ex:
+            handle = ExecutionEngine(ex).submit(jobs)
+            seen = dict(handle.as_completed())
+        assert sorted(seen) == list(range(len(jobs)))
+        reference = LocalExecutor().run_batch(jobs)
+        for i, result in seen.items():
+            _assert_results_equal(reference[i], result)
+
+    def test_cache_hits_skip_dispatch(self, tmp_path, servers, configs):
+        jobs = [SimJob("twolf", c, n_samples=32) for c in configs[:3]]
+        with DistributedExecutor(_hosts(servers)) as ex:
+            engine = ExecutionEngine(ex, cache=ResultCache(tmp_path))
+            first = engine.run(jobs)
+            engine.cache.clear_memory()
+            second = engine.run(jobs)
+        assert engine.cache.stats.disk_hits == len(jobs)
+        for a, b in zip(first, second):
+            _assert_results_equal(a, b)
+
+    def test_create_engine_selects_distributed(self, servers):
+        engine = create_engine(hosts=_hosts(servers))
+        assert isinstance(engine.executor, DistributedExecutor)
+        engine.executor.close()
+
+    def test_engine_from_env_reads_repro_hosts(self, monkeypatch, servers):
+        from repro.experiments.context import engine_from_env
+
+        monkeypatch.setenv("REPRO_HOSTS", ",".join(_hosts(servers)))
+        engine = engine_from_env()
+        assert isinstance(engine.executor, DistributedExecutor)
+        assert [str(s) for s in engine.executor.hosts] == _hosts(servers)
+        engine.executor.close()
+
+
+class TestDegradedAndErrors:
+    def test_no_hosts_degrades_to_parallel(self, configs):
+        with DistributedExecutor([], fallback_jobs=2) as ex:
+            assert ex.run_batch([]) == []
+            results = ex.run_batch(
+                [SimJob("gcc", c, n_samples=32) for c in configs[:2]])
+            assert isinstance(ex._fallback, ParallelExecutor)
+        reference = LocalExecutor().run_batch(
+            [SimJob("gcc", c, n_samples=32) for c in configs[:2]])
+        for a, b in zip(reference, results):
+            _assert_results_equal(a, b)
+
+    def test_unreachable_host_is_structured_error(self, configs):
+        with DistributedExecutor(["127.0.0.1:1"]) as ex:
+            with pytest.raises(SimulationError, match="cannot connect"):
+                ex.run_batch([SimJob("gcc", configs[0], n_samples=16)])
+
+    def test_authkey_mismatch_is_structured_error(self, configs):
+        server = WorkerServer(max_workers=1, authkey=b"right-key").start()
+        try:
+            with DistributedExecutor([f"127.0.0.1:{server.port}"],
+                                     authkey=b"wrong-key") as ex:
+                with pytest.raises(SimulationError, match="cannot connect"):
+                    ex.run_batch([SimJob("gcc", configs[0], n_samples=16)])
+        finally:
+            server.shutdown()
+
+    def test_crashed_simulation_process_requeues_then_structured_error(
+            self, configs):
+        """A pool child dying on the serving host is infrastructure
+        failure: the chunk re-queues (bounded) instead of instantly
+        failing the batch, and the server survives to serve again."""
+        server = WorkerServer(max_workers=1).start()
+        hosts = [f"127.0.0.1:{server.port}"]
+        try:
+            jobs = [SimJob("gcc", configs[0], n_samples=16),
+                    _KillPoolJob("gcc", configs[1], n_samples=16)]
+            with DistributedExecutor(hosts, chunk_size=1,
+                                     max_chunk_retries=1) as ex:
+                with pytest.raises(SimulationError,
+                                   match="lost to worker failures"):
+                    ex.run_batch(jobs)
+            # Two pool crashes later, the host still serves fresh work.
+            with DistributedExecutor(hosts) as ex:
+                results = ex.run_batch(
+                    [SimJob("gcc", configs[0], n_samples=16)])
+            assert results[0].benchmark == "gcc"
+        finally:
+            server.shutdown()
+
+    def test_remote_job_error_is_structured(self, servers, configs):
+        # The benchmark name passes job validation but fails workload
+        # resolution on the worker; the server must survive and report.
+        jobs = [SimJob("gcc", configs[0], n_samples=16),
+                SimJob("definitely_not_a_benchmark", configs[0],
+                       n_samples=16)]
+        with DistributedExecutor(_hosts(servers), chunk_size=1) as ex:
+            with pytest.raises(SimulationError,
+                               match="definitely_not_a_benchmark"):
+                ex.run_batch(jobs)
+        # Same servers still serve the next, healthy batch.
+        with DistributedExecutor(_hosts(servers)) as ex:
+            results = ex.run_batch([SimJob("gcc", configs[0], n_samples=16)])
+        assert results[0].benchmark == "gcc"
+
+    def test_executor_reusable_after_remote_error_no_stale_replies(
+            self, servers, configs):
+        """A failing chunk can leave a pipelined sibling's reply inbound
+        on the same connection; the connection must be retired so the
+        *same* executor's next batch never reads a stale reply (which
+        would mislabel — and cache — another chunk's results)."""
+        bad = [SimJob("gcc", configs[0], n_samples=16),
+               SimJob("definitely_not_a_benchmark", configs[0],
+                      n_samples=16),
+               SimJob("gcc", configs[1], n_samples=16),
+               SimJob("gcc", configs[2], n_samples=16)]
+        with DistributedExecutor(_hosts(servers), chunk_size=1) as ex:
+            with pytest.raises(SimulationError):
+                ex.run_batch(bad)
+            good = [SimJob("swim", c, n_samples=32) for c in configs]
+            results = ex.run_batch(good)
+        reference = LocalExecutor().run_batch(good)
+        for a, b in zip(reference, results):
+            _assert_results_equal(a, b)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(EngineError):
+            DistributedExecutor([], chunk_size=0)
+        with pytest.raises(EngineError):
+            DistributedExecutor([], max_chunk_retries=-1)
+        with pytest.raises(EngineError):
+            DistributedExecutor([], connections_per_host=0)
+        with pytest.raises(EngineError):
+            WorkerServer(max_workers=0)
+
+
+def _spawn_worker_process(name):
+    """Start ``repro worker serve`` as a real subprocess; returns
+    (process, port).  Runs in its own session so the server and its
+    simulation pool die together on killpg."""
+    src_root = Path(repro.__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src_root) + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "serve",
+         "--host", "127.0.0.1", "--port", "0", "--jobs", "1"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, start_new_session=True,
+    )
+    line = process.stdout.readline()
+    match = re.search(r"serving on 127\.0\.0\.1:(\d+)", line)
+    assert match, f"worker {name} failed to start: {line!r}"
+    return process, int(match.group(1))
+
+
+def _killpg(process):
+    try:
+        os.killpg(process.pid, signal.SIGKILL)
+    except ProcessLookupError:
+        pass
+    process.wait()
+
+
+class TestWorkerFailure:
+    def test_killed_worker_requeues_chunks_bit_identical(self, configs):
+        """SIGKILL one of two workers mid-batch: its in-flight chunk is
+        re-queued on the survivor and the sweep completes bit-identical
+        to a local run."""
+        victim, victim_port = _spawn_worker_process("victim")
+        survivor, survivor_port = _spawn_worker_process("survivor")
+        jobs = [SimJob("gcc", configs[i % len(configs)], n_samples=128)
+                for i in range(60)]
+        try:
+            ex = DistributedExecutor(
+                [f"127.0.0.1:{victim_port}", f"127.0.0.1:{survivor_port}"])
+            stream = ex.submit_batch(jobs)
+            first = next(stream)  # the fleet is demonstrably mid-batch
+            _killpg(victim)
+            remaining = list(stream)
+            ex.close()
+        finally:
+            _killpg(victim)
+            _killpg(survivor)
+        delivered = dict([first] + remaining)
+        assert sorted(delivered) == list(range(len(jobs)))
+        assert ex.requeued_chunks >= 1, "the kill must have landed mid-chunk"
+        reference = LocalExecutor().run_batch(jobs)
+        for i, result in delivered.items():
+            _assert_results_equal(reference[i], result)
+
+    def test_all_workers_lost_is_structured_error(self, configs):
+        server, port = _spawn_worker_process("only")
+        jobs = [SimJob("gcc", configs[i % len(configs)], n_samples=128)
+                for i in range(40)]
+        try:
+            ex = DistributedExecutor([f"127.0.0.1:{port}"])
+            stream = ex.submit_batch(jobs)
+            next(stream)
+            _killpg(server)
+            with pytest.raises(SimulationError,
+                               match="disconnected|lost to worker"):
+                list(stream)
+            ex.close()
+        finally:
+            _killpg(server)
+
+
+class TestRunChunkTimed:
+    def test_times_and_returns_results(self, configs):
+        jobs = [SimJob("gcc", configs[0], n_samples=16)]
+        results, elapsed = _run_chunk_timed(jobs)
+        assert elapsed > 0
+        _assert_results_equal(results[0], jobs[0].run())
+
+    def test_protocol_version_pinned(self):
+        # A wire change must bump the version so old dispatchers refuse
+        # politely instead of failing mid-batch.
+        assert PROTOCOL_VERSION == "repro-remote/v1"
