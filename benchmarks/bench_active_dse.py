@@ -1,0 +1,121 @@
+"""Bench: active-learning DSE vs a matched-seed blind LHS sweep.
+
+The PR-5 closed loop (`repro.dse.active`) claims that letting ensemble
+uncertainty pick each next simulation batch reaches a good
+constraint-satisfying design with a fraction of the simulations a fixed
+LHS sample needs.  This bench pins that claim end-to-end:
+
+* **target** — the best feasible mean-CPI design a blind ``N_LHS``-point
+  LHS sweep finds under a worst-case power constraint;
+* **pin** — the active loop, started from the *same seed and the same
+  initial-design prefix*, must reach a design at least that good using
+  **<= 50%** of the LHS simulation budget;
+* **equivalence** — every configuration simulated by both paths must
+  produce bit-identical traces (the engine's determinism contract).
+
+Everything in the comparison is deterministic — the simulator seeds its
+measurement texture from job content and the loop's trajectory is
+executor-independent — so this is a stable regression gate, not a
+statistical flake.  Results land in ``BENCH_active_dse.json`` (uploaded
+as a CI artifact).
+"""
+
+import json
+import time
+
+import numpy as np
+
+import repro
+from repro.dse.explorer import Constraint, Objective
+from repro.dse.lhs import sample_train_configs
+
+SEED = 0
+N_LHS = 160
+N_INIT = 32
+BATCH = 16
+N_SAMPLES = 128
+POWER_BUDGET = 70.0
+BENCHMARK = "gcc"
+
+
+def test_active_search_halves_the_lhs_budget():
+    space = repro.paper_design_space()
+    runner = repro.SweepRunner(n_samples=N_SAMPLES)
+    objective = Objective("cpi", "mean")
+    constraint = Constraint("power", "max", "<=", POWER_BUDGET)
+
+    # Blind baseline: the full LHS sweep, one engine batch.
+    lhs_configs = sample_train_configs(space, N_LHS, seed=SEED)
+    start = time.perf_counter()
+    lhs = runner.run_configs(BENCHMARK, lhs_configs, space)
+    lhs_seconds = time.perf_counter() - start
+    scores = np.array([objective.score(row) for row in lhs.domain("cpi")])
+    feasible = np.array([constraint.satisfied(row)
+                         for row in lhs.domain("power")])
+    assert np.any(feasible), "power budget infeasible for the whole sweep"
+    target = float(scores[feasible].min())
+
+    # Active loop: same seed, same initial design prefix.
+    start = time.perf_counter()
+    result = repro.SweepRunner(n_samples=N_SAMPLES).run_active(
+        BENCHMARK, objective, constraints=[constraint],
+        budget=N_LHS, batch_size=BATCH, n_init=N_INIT, seed=SEED,
+        space=space, init_configs=lhs_configs[:N_INIT],
+    )
+    active_seconds = time.perf_counter() - start
+
+    sims_to_target = next(
+        (r.n_simulations for r in result.rounds
+         if r.best_score <= target + 1e-12), None)
+    assert sims_to_target is not None, (
+        f"active search never matched the LHS target {target:.4f} "
+        f"(best {result.best_score:.4f} after {result.n_simulations} sims)"
+    )
+    assert sims_to_target <= N_LHS // 2, (
+        f"active search needed {sims_to_target} simulations to match the "
+        f"{N_LHS}-point LHS target {target:.4f} — more than 50% of the "
+        f"LHS budget"
+    )
+
+    # Determinism contract: configurations simulated by both paths must
+    # have produced bit-identical traces (the shared init prefix
+    # guarantees a non-trivial intersection).
+    lhs_by_key = {c.key(): i for i, c in enumerate(lhs.configs)}
+    shared = 0
+    for j, config in enumerate(result.observed.configs):
+        i = lhs_by_key.get(config.key())
+        if i is None:
+            continue
+        shared += 1
+        for domain in ("cpi", "power"):
+            assert np.array_equal(lhs.domain(domain)[i],
+                                  result.observed.domain(domain)[j]), (
+                f"trace mismatch for shared config {config.key()} "
+                f"in domain {domain}"
+            )
+    assert shared >= N_INIT
+
+    record = {
+        "bench": "active_dse",
+        "benchmark": BENCHMARK,
+        "objective": objective.describe(),
+        "constraint": constraint.describe(),
+        "seed": SEED,
+        "n_samples": N_SAMPLES,
+        "lhs_budget": N_LHS,
+        "lhs_best_score": round(target, 6),
+        "lhs_seconds": round(lhs_seconds, 4),
+        "active_sims_to_target": sims_to_target,
+        "active_budget_fraction": round(sims_to_target / N_LHS, 4),
+        "active_total_sims": result.n_simulations,
+        "active_best_score": round(result.best_score, 6),
+        "active_reason": result.reason,
+        "active_seconds": round(active_seconds, 4),
+        "shared_configs_bit_identical": shared,
+    }
+    with open("BENCH_active_dse.json", "w") as handle:
+        json.dump(record, handle, indent=2)
+    print(f"\nLHS best {target:.4f} in {N_LHS} sims; active matched it in "
+          f"{sims_to_target} sims ({100 * sims_to_target / N_LHS:.0f}% of "
+          f"the budget), final best {result.best_score:.4f} "
+          f"({result.reason}); {shared} shared configs bit-identical")

@@ -30,7 +30,11 @@ See ``examples/`` for complete scripts and ``benchmarks/`` for the
 drivers that regenerate every table and figure of the paper.
 """
 
-from repro.core.predictor import PredictorSettings, WaveletNeuralPredictor
+from repro.core.predictor import (
+    PredictorSettings,
+    WaveletNeuralPredictor,
+    WaveletPredictorEnsemble,
+)
 from repro.core.metrics import (
     directional_symmetry,
     nmse_percent,
@@ -40,6 +44,12 @@ from repro.core.metrics import (
 from repro.core.wavelets import MultiresolutionAnalysis, dwt, haar_dwt, haar_idwt, idwt
 from repro.core.rbf import RBFNetwork
 from repro.core.regression_tree import RegressionTree
+from repro.dse.active import (
+    ActiveSearch,
+    ActiveSearchResult,
+    ActiveSearchSettings,
+    run_active_search,
+)
 from repro.dse.explorer import (
     Constraint,
     Objective,
@@ -69,6 +79,7 @@ __version__ = "1.0.0"
 __all__ = [
     # Core predictive models
     "WaveletNeuralPredictor",
+    "WaveletPredictorEnsemble",
     "PredictorSettings",
     "RBFNetwork",
     "RegressionTree",
@@ -101,6 +112,10 @@ __all__ = [
     "Constraint",
     "Objective",
     "register_reducer",
+    "ActiveSearch",
+    "ActiveSearchResult",
+    "ActiveSearchSettings",
+    "run_active_search",
     # Execution engine
     "SimJob",
     "ExecutionEngine",

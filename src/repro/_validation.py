@@ -72,6 +72,26 @@ def require_in(value, options: Sequence, name: str) -> None:
         )
 
 
+def resolve_settings(settings_cls, settings, kwargs, error_cls):
+    """Resolve the ``settings``-object-or-keyword-arguments convention.
+
+    Several configurable classes (:class:`repro.core.predictor.
+    WaveletNeuralPredictor` and friends) accept either a prebuilt,
+    immutable settings dataclass or loose keyword arguments — never
+    both.  This helper owns that resolution: build ``settings_cls``
+    from ``kwargs`` when no object is given, reject mixing the two
+    (raising ``error_cls``), and return the validated settings.
+    """
+    if settings is None:
+        settings = settings_cls(**kwargs)
+    elif kwargs:
+        raise error_cls(
+            "pass either a settings object or keyword arguments, not both"
+        )
+    settings.validate()
+    return settings
+
+
 def rng_from_seed(seed) -> np.random.Generator:
     """Build a :class:`numpy.random.Generator` from a seed or pass through."""
     if isinstance(seed, np.random.Generator):

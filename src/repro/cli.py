@@ -14,6 +14,12 @@ Commands
 ``sweep``
     Run a train/test design-space sweep through the execution engine
     (optionally parallel and cached) and report timing.
+``dse``
+    Search the design space against scenario criteria: a one-shot
+    predictive search over a fixed LHS training sample, or — with
+    ``--active`` — the closed-loop active-learning search whose model
+    uncertainty picks each next simulation batch (``--budget``,
+    ``--batch-size``, ``--strategy``, ``--seed``).
 ``cache``
     Inspect (``stats``), garbage-collect (``gc``) or empty (``clear``)
     the on-disk simulation result cache.
@@ -86,6 +92,44 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--out", default=None, metavar="PREFIX",
                        help="save datasets to PREFIX.train.npz / PREFIX.test.npz")
     _add_engine_arguments(sweep)
+
+    dse = sub.add_parser(
+        "dse", help="search the design space against scenario criteria")
+    dse.add_argument("benchmark")
+    dse.add_argument("--objective", action="append", default=None,
+                     metavar="DOMAIN:REDUCER[:max]",
+                     help="objective term, e.g. cpi:mean (default) or "
+                          "power:p99; append ':max' to maximize; repeat "
+                          "for multi-objective Pareto search")
+    dse.add_argument("--constraint", action="append", default=None,
+                     metavar="DOMAIN:REDUCER<=BOUND",
+                     help="scenario constraint, e.g. 'power:max<=100' or "
+                          "'cpi:min>=0.5'; repeatable")
+    dse.add_argument("--samples", type=int, default=128,
+                     help="trace resolution per simulation")
+    dse.add_argument("--seed", type=int, default=0)
+    dse.add_argument("--active", action="store_true",
+                     help="closed-loop active learning: ensemble "
+                          "uncertainty picks each next simulation batch "
+                          "instead of a fixed up-front LHS sample")
+    dse.add_argument("--budget", type=int, default=None,
+                     help="total simulation budget for --active "
+                          "(default: 160)")
+    dse.add_argument("--batch-size", type=int, default=None,
+                     help="simulations per acquisition round (--active; "
+                          "default: 16)")
+    dse.add_argument("--n-init", type=int, default=None,
+                     help="initial LHS design size (--active; default: 40)")
+    dse.add_argument("--strategy", choices=("ei", "ucb", "max_variance"),
+                     default=None,
+                     help="acquisition strategy (--active; default: ei)")
+    dse.add_argument("--n-train", type=int, default=None,
+                     help="fixed LHS training sample (without --active; "
+                          "default: 200)")
+    dse.add_argument("--limit", type=int, default=None,
+                     help="predictive-search candidate budget (without "
+                          "--active; default: 4096)")
+    _add_engine_arguments(dse)
 
     cache = sub.add_parser(
         "cache", help="inspect / garbage-collect the result cache")
@@ -270,6 +314,137 @@ def _cmd_sweep(args, out) -> int:
     return 0
 
 
+def _parse_objective(spec: str):
+    from repro.dse.explorer import Objective
+    from repro.errors import ModelError
+
+    parts = spec.split(":")
+    if not 1 <= len(parts) <= 3:
+        raise ModelError(
+            f"objective spec must be DOMAIN[:REDUCER[:max]], got {spec!r}"
+        )
+    maximize = False
+    if len(parts) == 3:
+        if parts[2] not in ("max", "maximize"):
+            raise ModelError(
+                f"third objective field must be 'max', got {parts[2]!r}"
+            )
+        maximize = True
+    reducer = parts[1] if len(parts) > 1 else "mean"
+    return Objective(parts[0], reducer, maximize=maximize)
+
+
+def _parse_constraint(spec: str):
+    from repro.dse.explorer import Constraint
+    from repro.errors import ModelError
+
+    for op in ("<=", ">="):
+        if op in spec:
+            left, _, bound = spec.partition(op)
+            domain, _, reducer = left.partition(":")
+            try:
+                value = float(bound)
+            except ValueError:
+                raise ModelError(
+                    f"constraint bound must be a number, got {bound!r}"
+                ) from None
+            return Constraint(domain.strip(), (reducer or "max").strip(),
+                              op, value)
+    raise ModelError(
+        f"constraint spec must look like 'power:max<=100', got {spec!r}"
+    )
+
+
+def _cmd_dse(args, out) -> int:
+    from repro.dse.active import ActiveSearchSettings
+    from repro.dse.explorer import PredictiveExplorer
+    from repro.dse.runner import SweepRunner
+    from repro.dse.space import paper_design_space
+    from repro.core.predictor import WaveletNeuralPredictor
+
+    from repro.errors import ModelError
+
+    objectives = [_parse_objective(s) for s in (args.objective or ["cpi:mean"])]
+    constraints = [_parse_constraint(s) for s in (args.constraint or [])]
+    if len(objectives) > 1 and not args.active:
+        raise ModelError(
+            "multiple --objective terms require --active (Pareto search "
+            "is part of the closed-loop mode); the one-shot predictive "
+            "search optimizes a single objective"
+        )
+    # Mode-mismatched flags fail loudly instead of being silently
+    # ignored: forgetting --active with --budget 20 would otherwise run
+    # a 200-simulation fixed sweep the user believed they had capped.
+    active_only = ("budget", "batch_size", "n_init", "strategy")
+    oneshot_only = ("n_train", "limit")
+    wrong = [name for name in (oneshot_only if args.active else active_only)
+             if getattr(args, name) is not None]
+    if wrong:
+        flags = ", ".join("--" + name.replace("_", "-") for name in wrong)
+        mode = "with" if args.active else "without"
+        raise ModelError(f"{flags} do(es) not apply {mode} --active")
+    space = paper_design_space()
+    runner = SweepRunner(n_samples=args.samples,
+                         engine=_make_engine(args, out))
+
+    if args.active:
+        settings = ActiveSearchSettings(
+            budget=args.budget if args.budget is not None else 160,
+            batch_size=(args.batch_size if args.batch_size is not None
+                        else 16),
+            n_init=args.n_init if args.n_init is not None else 40,
+            strategy=args.strategy or "ei", seed=args.seed)
+        result = runner.run_active(
+            args.benchmark,
+            objectives if len(objectives) > 1 else objectives[0],
+            constraints=constraints, settings=settings, space=space)
+        out.write(f"{'round':>5s}  {'strategy':<12s} {'sims':>5s}  "
+                  f"{'feasible':>8s}  {'best':>10s}\n")
+        for record in result.rounds:
+            best = ("-" if record.best_score == float("inf")
+                    else f"{record.best_score:.4f}")
+            out.write(f"{record.round_index:>5d}  {record.strategy:<12s} "
+                      f"{record.n_simulations:>5d}  "
+                      f"{record.n_feasible:>8d}  {best:>10s}\n")
+        out.write("\n" + result.describe() + "\n")
+        if result.pareto:
+            out.write("\nPareto front (lower is better per objective):\n")
+            for point in result.pareto:
+                scores = ", ".join(f"{s:.4f}" for s in point.scores)
+                out.write(f"  [{scores}]  "
+                          f"{dict(point.config.varied_values())}\n")
+        elif result.best_config is not None:
+            out.write("\n" + result.best_config.describe() + "\n")
+        return 0
+
+    from repro.dse.lhs import sample_train_configs
+
+    n_train = args.n_train if args.n_train is not None else 200
+    train_cfgs = sample_train_configs(space, n_train, seed=args.seed)
+    dataset = runner.run_configs(args.benchmark, train_cfgs, space)
+    domains = {o.domain for o in objectives} | {c.domain for c in constraints}
+    models = {
+        domain: WaveletNeuralPredictor().fit(dataset.design_matrix(),
+                                             dataset.domain(domain))
+        for domain in domains
+    }
+    explorer = PredictiveExplorer(space, models)
+    result = explorer.search(
+        objectives[0], constraints=constraints,
+        limit=args.limit if args.limit is not None else 4096,
+        seed=args.seed)
+    out.write(f"trained on {dataset.n_configs} simulations; evaluated "
+              f"{result.n_evaluated} candidate configurations, "
+              f"{result.n_feasible} feasible\n")
+    if result.best_config is None:
+        out.write("no feasible configuration under the constraints\n")
+        return 0
+    out.write(f"best predicted {objectives[0].describe()}: "
+              f"{result.best_score:.4f}\n")
+    out.write(result.best_config.describe() + "\n")
+    return 0
+
+
 def _human_bytes(n: int) -> str:
     value = float(n)
     for unit in ("B", "KiB", "MiB", "GiB"):
@@ -381,6 +556,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_run_experiment(args, out)
     if args.command == "sweep":
         return _cmd_sweep(args, out)
+    if args.command == "dse":
+        return _cmd_dse(args, out)
     if args.command == "cache":
         return _cmd_cache(args, out)
     if args.command == "worker":

@@ -20,7 +20,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro._validation import as_2d_float_array
+from repro._validation import (
+    as_2d_float_array,
+    resolve_settings,
+    rng_from_seed,
+)
 from repro.errors import ModelError, NotFittedError
 from repro.core import metrics as _metrics
 from repro.core.rbf import RBFNetwork
@@ -98,12 +102,8 @@ class WaveletNeuralPredictor:
     """
 
     def __init__(self, settings: Optional[PredictorSettings] = None, **kwargs):
-        if settings is None:
-            settings = PredictorSettings(**kwargs)
-        elif kwargs:
-            raise ModelError("pass either a settings object or keyword arguments, not both")
-        settings.validate()
-        self.settings = settings
+        self.settings = resolve_settings(PredictorSettings, settings,
+                                         kwargs, ModelError)
         # Fitted state
         self.selected_indices_: Optional[np.ndarray] = None
         self.models_: Dict[int, RBFNetwork] = {}
@@ -241,3 +241,124 @@ class WaveletNeuralPredictor:
     def _check_fitted(self) -> None:
         if self.selected_indices_ is None:
             raise NotFittedError("WaveletNeuralPredictor used before fit")
+
+
+class WaveletPredictorEnsemble:
+    """Bootstrap ensemble of :class:`WaveletNeuralPredictor` models.
+
+    The single predictor gives a point estimate of a configuration's
+    dynamics; the active-learning loop (:mod:`repro.dse.active`)
+    additionally needs to know *where the model is unsure* so it can
+    spend its simulation budget there.  This class fits ``n_members``
+    predictors — the first on the full training set (so point
+    predictions never lose data), the rest on bootstrap resamples — and
+    exposes the spread of their predictions as a per-sample uncertainty
+    estimate.
+
+    Parameters
+    ----------
+    n_members:
+        Ensemble size ``K`` (>= 2; the variance of a single member is
+        identically zero).
+    settings:
+        Shared :class:`PredictorSettings` for every member; keyword
+        arguments may be passed directly instead.
+    seed:
+        Seed for the bootstrap resampling.  Fitting is fully
+        deterministic given ``(seed, X, traces)``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(3)
+    >>> X = rng.uniform(size=(48, 3))
+    >>> t = np.linspace(0, 1, 32)
+    >>> traces = np.array([np.sin(5 * t + x[0]) * (1 + x[2]) for x in X])
+    >>> ens = WaveletPredictorEnsemble(n_members=3, n_coefficients=8,
+    ...                                seed=0).fit(X, traces)
+    >>> mean, std = ens.predict_with_std(X[:4])
+    >>> mean.shape == std.shape == (4, 32)
+    True
+    >>> bool(np.all(std >= 0.0))
+    True
+    """
+
+    def __init__(self, n_members: int = 4,
+                 settings: Optional[PredictorSettings] = None,
+                 seed: int = 0, **kwargs):
+        if n_members < 2:
+            raise ModelError(
+                f"n_members must be >= 2 for a variance estimate, got "
+                f"{n_members}"
+            )
+        self.n_members = n_members
+        self.settings = resolve_settings(PredictorSettings, settings,
+                                         kwargs, ModelError)
+        self.seed = seed
+        self.members_: List[WaveletNeuralPredictor] = []
+
+    # ------------------------------------------------------------------
+    def fit(self, X, traces) -> "WaveletPredictorEnsemble":
+        """Fit every member; bootstrap indices are drawn from ``seed``.
+
+        Member 0 always sees the full ``(X, traces)``; members ``1..K-1``
+        see size-``n`` resamples drawn with replacement.  Refitting with
+        the same seed and data reproduces the ensemble exactly.
+        """
+        X = as_2d_float_array(X, name="X")
+        traces = as_2d_float_array(traces, name="traces")
+        if X.shape[0] != traces.shape[0]:
+            raise ModelError(
+                f"X and traces disagree on configuration count: "
+                f"{X.shape[0]} != {traces.shape[0]}"
+            )
+        rng = rng_from_seed(self.seed)
+        n = X.shape[0]
+        members = []
+        for member in range(self.n_members):
+            if member == 0:
+                Xm, tm = X, traces
+            else:
+                idx = rng.integers(0, n, size=n)
+                Xm, tm = X[idx], traces[idx]
+            members.append(
+                WaveletNeuralPredictor(self.settings).fit(Xm, tm))
+        self.members_ = members
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def selected_indices_(self):
+        """Member 0's retained coefficient indices (``None`` pre-fit).
+
+        Mirrors the single-predictor attribute so an ensemble can stand
+        in for a :class:`WaveletNeuralPredictor` wherever only point
+        predictions are consumed (e.g.
+        :class:`repro.dse.explorer.PredictiveExplorer`).
+        """
+        if not self.members_:
+            return None
+        return self.members_[0].selected_indices_
+
+    def member_predictions(self, X) -> np.ndarray:
+        """Every member's predicted dynamics, shape ``(K, n, samples)``."""
+        self._check_fitted()
+        return np.stack([m.predict(X) for m in self.members_])
+
+    def predict(self, X) -> np.ndarray:
+        """Ensemble-mean dynamics, shape ``(n, samples)``."""
+        return self.member_predictions(X).mean(axis=0)
+
+    def predict_with_std(self, X):
+        """``(mean, std)`` dynamics across members, each ``(n, samples)``.
+
+        The standard deviation is taken across the ``K`` member
+        predictions per (configuration, sample) — the bootstrap estimate
+        of model uncertainty the acquisition functions consume.
+        """
+        preds = self.member_predictions(X)
+        return preds.mean(axis=0), preds.std(axis=0)
+
+    def _check_fitted(self) -> None:
+        if not self.members_:
+            raise NotFittedError("WaveletPredictorEnsemble used before fit")

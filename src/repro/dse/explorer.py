@@ -17,6 +17,7 @@ methodology from the aggregate-only predictive-DSE line of work.
 from __future__ import annotations
 
 import itertools
+import numbers
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -130,6 +131,10 @@ class Constraint:
     bound: float
 
     def __post_init__(self):
+        if not isinstance(self.domain, str) or not self.domain:
+            raise ModelError(
+                f"domain must be a non-empty string, got {self.domain!r}"
+            )
         if self.reducer not in REDUCERS:
             raise ModelError(
                 f"unknown reducer {self.reducer!r}; choose from "
@@ -137,6 +142,12 @@ class Constraint:
             )
         if self.op not in ("<=", ">="):
             raise ModelError(f"op must be '<=' or '>=', got {self.op!r}")
+        if isinstance(self.bound, bool) or not isinstance(
+                self.bound, numbers.Real) or not np.isfinite(
+                    float(self.bound)):
+            raise ModelError(
+                f"bound must be a finite number, got {self.bound!r}"
+            )
 
     def satisfied(self, trace: np.ndarray) -> bool:
         value = float(_reduce(self.reducer, trace))
@@ -151,6 +162,18 @@ class Constraint:
         """Positive slack when satisfied, negative when violated."""
         value = float(_reduce(self.reducer, trace))
         return self.bound - value if self.op == "<=" else value - self.bound
+
+    def margin_many(self, traces: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`margin` over stacked traces.
+
+        Accepts any array whose **last** axis is the sample axis — a
+        ``(n, samples)`` matrix gives per-configuration margins, a
+        ``(K, n, samples)`` ensemble stack gives per-(member,
+        configuration) margins — so the active-learning acquisition can
+        estimate feasibility probabilities in one numpy call.
+        """
+        values = _reduce(self.reducer, traces)
+        return self.bound - values if self.op == "<=" else values - self.bound
 
     def describe(self) -> str:
         return f"{self.reducer}({self.domain}) {self.op} {self.bound:g}"

@@ -128,3 +128,49 @@ def sample_test_configs(space: DesignSpace, n: int = 50,
                         seed: int = 1) -> List[MachineConfig]:
     """The paper's 50-point independent random test set over test levels."""
     return space.sample_random(n, split="test", seed=seed, unique=True)
+
+
+def sample_candidate_pool(space: DesignSpace, n: int, seed,
+                          exclude_keys=(),
+                          split: str = "train") -> List[MachineConfig]:
+    """``n`` distinct configurations avoiding already-simulated designs.
+
+    The active-learning loop (:mod:`repro.dse.active`) re-scores a fresh
+    candidate pool every round; points it has already paid a simulation
+    for are excluded by :meth:`~repro.uarch.params.MachineConfig.key` so
+    the acquisition budget is never spent re-discovering known designs.
+    When the split grid minus the exclusions holds fewer than ``n``
+    points, every remaining point is returned (the pool simply shrinks
+    as the loop exhausts a small space).
+    """
+    exclude = set(exclude_keys)
+    grid = space.size(split)
+    target = min(n, grid)
+    # Oversample, then filter: the exclusion set is tiny relative to the
+    # grid, so one draw almost always suffices; the loop guards the
+    # near-exhausted case.  No arithmetic on ``exclude`` decides
+    # termination — excluded keys need not lie in this split's grid
+    # (e.g. an explicit off-grid initial design), so the only sound
+    # exhaustion signal is a full-grid draw yielding nothing new.
+    rng = rng_from_seed(seed)
+    out: List[MachineConfig] = []
+    seen = set(exclude)
+    for _ in range(64):
+        draw = min(target - len(out) + len(exclude), grid)
+        for config in space.sample_random(draw, split=split, seed=rng,
+                                          unique=True):
+            key = config.key()
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(config)
+            if len(out) == target:
+                return out
+        if draw == grid:
+            # The whole grid was enumerated: everything missing is
+            # excluded, so the pool is simply smaller than asked for.
+            return out
+    raise SamplingError(
+        f"could not draw {target} candidates distinct from "
+        f"{len(exclude)} excluded configurations"
+    )

@@ -166,6 +166,52 @@ class SweepRunner:
         return datasets  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
+    # Active learning
+    # ------------------------------------------------------------------
+    def run_active(self, workload: Union[str, WorkloadModel],
+                   objectives, constraints: Sequence = (),
+                   settings=None, space: Optional[DesignSpace] = None,
+                   init_configs: Optional[Sequence[MachineConfig]] = None,
+                   **kwargs):
+        """Closed-loop active-learning search (see :mod:`repro.dse.active`).
+
+        Instead of simulating a fixed LHS sample, the loop alternates
+        ensemble fitting, acquisition scoring, and top-``batch_size``
+        engine batches until the simulation ``budget`` is spent or the
+        incumbent converges.  Every batch goes through this runner's
+        engine, so parallel, cached and distributed execution apply
+        unchanged.
+
+        Parameters
+        ----------
+        workload:
+            Benchmark name or workload model.
+        objectives:
+            One :class:`~repro.dse.explorer.Objective` or a sequence
+            (several enable Pareto mode).
+        constraints:
+            Scenario :class:`~repro.dse.explorer.Constraint` terms.
+        settings:
+            :class:`~repro.dse.active.ActiveSearchSettings`; keyword
+            arguments (``budget=...``, ``strategy=...``) may be passed
+            directly instead.
+        space:
+            Design space; defaults to the paper's Table 2 space.
+        init_configs:
+            Explicit initial design (e.g. the prefix of a fixed LHS
+            sweep, for matched-seed comparisons).
+
+        Returns
+        -------
+        :class:`~repro.dse.active.ActiveSearchResult`
+        """
+        from repro.dse.active import ActiveSearch
+
+        search = ActiveSearch(self, objectives, constraints=constraints,
+                              settings=settings, space=space, **kwargs)
+        return search.run(workload, init_configs=init_configs)
+
+    # ------------------------------------------------------------------
     # Streaming
     # ------------------------------------------------------------------
     def run_many_streaming(self, workload: Union[str, WorkloadModel],

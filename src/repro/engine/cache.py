@@ -122,6 +122,28 @@ class ResultCache:
     max_bytes:
         Disk-tier byte cap, enforced after every store by mtime-LRU
         eviction; ``None`` leaves the tier unbounded.
+
+    Raises
+    ------
+    repro.errors.EngineError
+        If ``memory_items`` is negative or ``max_bytes`` is smaller
+        than 1.
+
+    Examples
+    --------
+    Memory-only round trip (no disk directory configured):
+
+    >>> from repro.engine import ResultCache, make_jobs
+    >>> from repro.uarch.params import baseline_config
+    >>> cache = ResultCache(cache_dir=None, memory_items=4)
+    >>> job = make_jobs("gcc", [baseline_config()], n_samples=8)[0]
+    >>> cache.get(job) is None          # first lookup misses
+    True
+    >>> cache.put(job, job.run())
+    >>> cache.get(job).n_samples        # now served from memory
+    8
+    >>> cache.stats.describe()
+    '1/2 hits (1 memory, 0 disk), 1 stores'
     """
 
     def __init__(self, cache_dir=None, memory_items: int = 512,
@@ -240,7 +262,19 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def get(self, job: SimJob) -> Optional[SimulationResult]:
-        """The cached result for ``job``, or ``None`` on a miss."""
+        """The cached result for ``job``, or ``None`` on a miss.
+
+        Parameters
+        ----------
+        job:
+            Looked up by its content-hash :meth:`~repro.engine.jobs.SimJob.key`.
+
+        Returns
+        -------
+        SimulationResult or None
+            ``None`` on a miss *and* on an unreadable/corrupt disk
+            entry (which will simply be overwritten by the next store).
+        """
         key = job.key()
         if key in self._memory:
             self.stats.memory_hits += 1
@@ -266,6 +300,15 @@ class ResultCache:
         With a ``max_bytes`` cap configured, the disk tier is brought
         back under the cap before this method returns — the cache never
         ends a sweep over budget.
+
+        Parameters
+        ----------
+        job:
+            Names the entry (content-hash key, version-prefixed on
+            disk).
+        result:
+            Stored as-is on disk; the memory tier stores a detached
+            copy so it never pins a shared-memory arena.
         """
         key = job.key()
         self._remember(key, result)

@@ -449,6 +449,29 @@ class BatchHandle:
 
     All accessors agree: however the stream is consumed, job *i* always
     maps to the same :class:`~repro.uarch.simulator.SimulationResult`.
+
+    Attributes
+    ----------
+    jobs:
+        The submitted jobs (after engine-level checkpoint stamping).
+    cache_hits:
+        How many jobs resolved from the cache at submit time.
+    done:
+        Jobs resolved so far (cache hits plus drained executor results).
+
+    Examples
+    --------
+    >>> from repro.engine import ExecutionEngine, make_jobs
+    >>> from repro.uarch.params import baseline_config
+    >>> engine = ExecutionEngine()
+    >>> handle = engine.submit(make_jobs("gcc", [baseline_config()] * 2,
+    ...                                  n_samples=8))
+    >>> len(handle)
+    2
+    >>> sorted(index for index, _ in handle.as_completed())
+    [0, 1]
+    >>> handle.done
+    2
     """
 
     def __init__(self, jobs: List[SimJob],
@@ -519,6 +542,20 @@ class BatchHandle:
         executor results follow as they finish.  Safe to resume after a
         partial drain or interleave with :meth:`result` — every job is
         yielded exactly once across all ``as_completed`` iterations.
+
+        Yields
+        ------
+        tuple
+            ``(job_index, result)`` where ``job_index`` indexes into
+            :attr:`jobs`.
+
+        Raises
+        ------
+        repro.errors.SimulationError
+            If the executor fails mid-batch (e.g. a worker process
+            dies).  The first failure is terminal for the batch's
+            unresolved jobs and is re-raised by every later accessor;
+            already-resolved jobs stay available.
         """
         while self._yielded < len(self.jobs):
             if not self._ready:
@@ -528,7 +565,25 @@ class BatchHandle:
             yield index, result
 
     def result(self, index: int) -> SimulationResult:
-        """Block until job ``index`` resolves and return its result."""
+        """Block until job ``index`` resolves and return its result.
+
+        Parameters
+        ----------
+        index:
+            Position of the job in the submitted batch.
+
+        Returns
+        -------
+        SimulationResult
+            The same object every other accessor maps to job ``index``.
+
+        Raises
+        ------
+        repro.errors.EngineError
+            If ``index`` is out of range for the batch.
+        repro.errors.SimulationError
+            If the executor failed before the job could resolve.
+        """
         if not 0 <= index < len(self.jobs):
             raise EngineError(
                 f"job index {index} out of range for batch of {len(self.jobs)}"
@@ -538,7 +593,19 @@ class BatchHandle:
         return self._results[index]  # type: ignore[return-value]
 
     def results(self) -> List[SimulationResult]:
-        """Block until the whole batch resolves; results in job order."""
+        """Block until the whole batch resolves; results in job order.
+
+        Returns
+        -------
+        list of SimulationResult
+            Index-aligned with :attr:`jobs` — the deterministic view,
+            bit-identical no matter which executor ran the batch.
+
+        Raises
+        ------
+        repro.errors.SimulationError
+            If the executor failed before every job resolved.
+        """
         return [self.result(i) for i in range(len(self.jobs))]
 
 
@@ -570,6 +637,15 @@ class ExecutionEngine:
         alike — so enabling checkpointing never mutates the process
         environment.  They do not participate in job keys: a
         checkpointed job and a plain one share one cache entry.
+
+    Examples
+    --------
+    >>> from repro.engine import ExecutionEngine, make_jobs
+    >>> from repro.uarch.params import baseline_config
+    >>> engine = ExecutionEngine()
+    >>> jobs = make_jobs("gcc", [baseline_config()], n_samples=8)
+    >>> [result.trace("cpi").shape for result in engine.run(jobs)]
+    [(8,)]
     """
 
     def __init__(self, executor: Optional[Executor] = None,
@@ -608,6 +684,24 @@ class ExecutionEngine:
         method returns); duplicate jobs collapse to one execution; the
         unique misses are dispatched to the executor eagerly, so a
         process pool starts simulating before the handle is consumed.
+
+        Parameters
+        ----------
+        jobs:
+            The batch; an empty sequence yields an immediately-complete
+            handle.
+        on_result:
+            Optional per-batch progress callback, invoked as
+            ``on_result(job_index, job, result, from_cache)`` in
+            addition to the engine-wide one.
+
+        Returns
+        -------
+        BatchHandle
+            Streaming view of the batch; live batches may be
+            interleaved — submitting again before a previous handle has
+            drained is safe (the active-learning loop resubmits from
+            inside its drain loop every round).
         """
         jobs = [self._configure_job(job) for job in jobs]
         results: List[Optional[SimulationResult]] = [None] * len(jobs)
@@ -656,7 +750,23 @@ class ExecutionEngine:
         return iter(enumerate(self.executor.run_batch(unique_jobs)))
 
     def run(self, jobs: Sequence[SimJob]) -> List[SimulationResult]:
-        """Run a batch to completion; results in job order."""
+        """Run a batch to completion; results in job order.
+
+        Parameters
+        ----------
+        jobs:
+            The batch to execute.
+
+        Returns
+        -------
+        list of SimulationResult
+            Index-aligned with ``jobs``; bit-identical across executors.
+
+        Raises
+        ------
+        repro.errors.SimulationError
+            If the executor fails before every job resolves.
+        """
         return self.submit(jobs).results()
 
     def run_one(self, job: SimJob) -> SimulationResult:
@@ -709,6 +819,29 @@ def create_engine(jobs: Optional[int] = None,
         Detailed-backend checkpoint settings threaded through the
         engine onto submitted jobs (see :class:`ExecutionEngine`); the
         process environment is never touched.
+
+    Returns
+    -------
+    ExecutionEngine
+        An engine wired with the selected executor and cache tiers.
+
+    Raises
+    ------
+    repro.errors.EngineError
+        If ``jobs`` is given but smaller than 1, or a cache/executor
+        argument is malformed.
+
+    Examples
+    --------
+    >>> from repro.engine import create_engine, make_jobs
+    >>> from repro.uarch.params import baseline_config
+    >>> engine = create_engine(jobs=1, memory_items=8)
+    >>> job = make_jobs("gcc", [baseline_config()], n_samples=8)[0]
+    >>> engine.run_one(job).backend
+    'interval'
+    >>> _ = engine.run_one(job)        # second run hits the memory tier
+    >>> engine.cache.stats.hits, engine.cache.stats.misses
+    (1, 1)
     """
     if jobs is not None and jobs < 1:
         raise EngineError(f"jobs must be >= 1, got {jobs}")

@@ -134,6 +134,16 @@ class SimJob:
 
         Memoized: the engine consults the key on every cache lookup,
         store, and dedup check, and the job is immutable.
+
+        Examples
+        --------
+        >>> from repro.engine.jobs import SimJob
+        >>> from repro.uarch.params import baseline_config
+        >>> a = SimJob("gcc", baseline_config(), n_samples=8)
+        >>> a.key() == SimJob("gcc", baseline_config(), n_samples=8).key()
+        True
+        >>> a.key() == SimJob("mcf", baseline_config(), n_samples=8).key()
+        False
         """
         cached = self.__dict__.get("_key")
         if cached is not None:

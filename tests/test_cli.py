@@ -55,6 +55,60 @@ class TestSimulate:
             _run(["simulate", "nonexistent"])
 
 
+class TestDse:
+    def test_active_search(self):
+        code, text = _run([
+            "dse", "gcc", "--active", "--samples", "32",
+            "--budget", "22", "--batch-size", "6", "--n-init", "16",
+            "--constraint", "power:max<=80", "--seed", "1",
+        ])
+        assert code == 0
+        assert "init" in text and "ei" in text
+        assert "22 simulations" in text
+        assert "best feasible score" in text
+        assert "fetch_width" in text
+
+    def test_active_multi_objective(self):
+        code, text = _run([
+            "dse", "gcc", "--active", "--samples", "32",
+            "--budget", "24", "--batch-size", "8", "--n-init", "16",
+            "--objective", "cpi:mean", "--objective", "power:p99",
+        ])
+        assert code == 0
+        assert "Pareto front" in text
+
+    def test_predictive_search_without_active(self):
+        code, text = _run([
+            "dse", "gcc", "--samples", "32", "--n-train", "40",
+            "--limit", "200", "--constraint", "power:max<=80",
+        ])
+        assert code == 0
+        assert "trained on 40 simulations" in text
+        assert "best predicted" in text
+
+    def test_mode_mismatched_flags_rejected(self):
+        from repro.errors import ModelError
+        with pytest.raises(ModelError, match="--budget"):
+            _run(["dse", "gcc", "--budget", "20"])  # forgot --active
+        with pytest.raises(ModelError, match="--n-train"):
+            _run(["dse", "gcc", "--active", "--n-train", "500"])
+
+    def test_multi_objective_requires_active(self):
+        from repro.errors import ModelError
+        with pytest.raises(ModelError, match="--active"):
+            _run(["dse", "gcc", "--objective", "cpi:mean",
+                  "--objective", "power:p99"])
+
+    def test_bad_specs_rejected(self):
+        from repro.errors import ModelError
+        with pytest.raises(ModelError):
+            _run(["dse", "gcc", "--active", "--constraint", "power<100"])
+        with pytest.raises(ModelError):
+            _run(["dse", "gcc", "--constraint", "power:max<=high"])
+        with pytest.raises(ModelError):
+            _run(["dse", "gcc", "--objective", "cpi:mean:min"])
+
+
 class TestOtherCommands:
     def test_simpoint(self):
         code, text = _run(["simpoint", "gcc", "--intervals", "32"])

@@ -198,3 +198,88 @@ class TestReducers:
         register_reducer("p95", lambda t, axis=-1: np.percentile(t, 95, axis=axis),
                          overwrite=True)
         REDUCERS["p95"] = original
+
+    def test_collision_refused_and_leaves_original_intact(self):
+        from repro.dse.explorer import REDUCERS, register_reducer
+        original = REDUCERS["mean"]
+        with pytest.raises(ModelError, match="overwrite=True"):
+            register_reducer("mean", lambda t, axis=-1: np.max(t, axis=axis))
+        assert REDUCERS["mean"] is original  # failed overwrite is atomic
+
+    def test_collision_applies_to_custom_reducers_too(self):
+        from repro.dse.explorer import register_reducer, unregister_reducer
+        register_reducer("p20", lambda t, axis=-1: np.percentile(t, 20, axis=axis))
+        try:
+            with pytest.raises(ModelError):
+                register_reducer(
+                    "p20", lambda t, axis=-1: np.percentile(t, 25, axis=axis))
+        finally:
+            unregister_reducer("p20")
+
+    def test_overwritten_builtin_can_be_restored(self):
+        from repro.dse.explorer import REDUCERS, register_reducer
+        original = REDUCERS["min"]
+        replacement = lambda t, axis=-1: np.min(t, axis=axis) + 0.0
+        register_reducer("min", replacement, overwrite=True)
+        try:
+            assert REDUCERS["min"] is replacement
+        finally:
+            # Built-ins cannot be unregistered; the documented recovery
+            # path is a second overwrite-registration.
+            register_reducer("min", original, overwrite=True)
+        assert REDUCERS["min"] is original
+
+    def test_unregister_builtin_refused(self):
+        from repro.dse.explorer import REDUCERS, unregister_reducer
+        with pytest.raises(ModelError, match="built-in"):
+            unregister_reducer("mean")
+        assert "mean" in REDUCERS
+
+    def test_non_finite_reducer_rejected(self):
+        from repro.dse.explorer import register_reducer
+        with pytest.raises(ModelError):
+            register_reducer(
+                "to_nan", lambda t, axis=-1: np.full(t.shape[0], np.nan))
+
+
+class TestConstraintValidation:
+    def test_bad_domain_rejected(self):
+        with pytest.raises(ModelError):
+            Constraint("", "mean", "<=", 1.0)
+        with pytest.raises(ModelError):
+            Constraint(3, "mean", "<=", 1.0)
+
+    @pytest.mark.parametrize("bound", [
+        float("nan"), float("inf"), float("-inf"), "100", None, True,
+    ])
+    def test_bad_bound_rejected(self, bound):
+        with pytest.raises(ModelError):
+            Constraint("power", "max", "<=", bound)
+
+    def test_integer_bound_accepted(self):
+        c = Constraint("power", "max", "<=", 100)
+        assert c.satisfied(np.array([50.0, 99.0]))
+
+    def test_numpy_scalar_bounds_accepted(self):
+        # Bounds computed from numpy arrays must not be rejected.
+        for bound in (np.float64(80.0), np.float32(80.0), np.int64(80)):
+            c = Constraint("power", "max", "<=", bound)
+            assert c.satisfied(np.array([50.0, 79.0]))
+        with pytest.raises(ModelError):
+            Constraint("power", "max", "<=", np.float64("nan"))
+
+    def test_margin_many_matches_scalar_margin(self):
+        traces = np.array([[1.0, 5.0], [2.0, 8.0], [0.5, 0.5]])
+        for op, bound in (("<=", 6.0), (">=", 1.0)):
+            c = Constraint("power", "max", op, bound)
+            margins = c.margin_many(traces)
+            assert margins.shape == (3,)
+            for row, margin in zip(traces, margins):
+                assert margin == pytest.approx(c.margin(row))
+
+    def test_margin_many_over_ensemble_stack(self):
+        c = Constraint("power", "p95", "<=", 4.0)
+        stack = np.arange(24.0).reshape(2, 3, 4)  # (members, configs, samples)
+        margins = c.margin_many(stack)
+        assert margins.shape == (2, 3)
+        assert np.array_equal(margins[0], c.margin_many(stack[0]))

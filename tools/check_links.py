@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Offline markdown link checker for the docs CI job.
+
+Checks every ``[text](target)`` and reference-style link in the given
+markdown files:
+
+* **relative links** must point at an existing file or directory
+  (resolved against the linking file's location), and a ``#fragment``
+  on a markdown target must match a heading in that file;
+* **bare fragments** (``#section``) must match a heading in the same
+  file;
+* **external links** (``http(s)://``, ``mailto:``) are *not* fetched —
+  CI must stay offline-deterministic — but obviously malformed ones
+  (whitespace, empty host) fail.
+
+Headings are slugified the way GitHub does (lowercase, spaces to
+hyphens, punctuation dropped), which is what both GitHub and most
+renderers generate anchors from.
+
+Usage: ``python tools/check_links.py README.md docs/*.md``
+Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+INLINE_LINK = re.compile(r"(?<!\!)\[(?:[^\]]*)\]\(([^)\s]+(?:\s+\"[^\"]*\")?)\)")
+IMAGE_LINK = re.compile(r"\!\[(?:[^\]]*)\]\(([^)\s]+)\)")
+REFERENCE_DEF = re.compile(r"^\s*\[([^\]]+)\]:\s*(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)       # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    text = path.read_text(encoding="utf-8")
+    text = CODE_FENCE.sub("", text)
+    slugs: dict = {}
+    out = set()
+    for match in HEADING.finditer(text):
+        slug = github_slug(match.group(2))
+        count = slugs.get(slug, 0)
+        slugs[slug] = count + 1
+        out.add(slug if count == 0 else f"{slug}-{count}")
+    return out
+
+
+def check_file(path: Path) -> List[Tuple[str, str]]:
+    """Return ``(target, problem)`` pairs for every broken link."""
+    text = path.read_text(encoding="utf-8")
+    stripped = CODE_FENCE.sub("", text)
+    targets = [m.group(1) for m in INLINE_LINK.finditer(stripped)]
+    targets += [m.group(1) for m in IMAGE_LINK.finditer(stripped)]
+    targets += [m.group(2) for m in REFERENCE_DEF.finditer(stripped)]
+    problems: List[Tuple[str, str]] = []
+    for raw in targets:
+        target = raw.split(' "')[0].strip()
+        if not target:
+            problems.append((raw, "empty link target"))
+            continue
+        if target.startswith(("http://", "https://")):
+            if re.match(r"https?://[^\s/]+\.[^\s/]+", target) is None:
+                problems.append((target, "malformed external URL"))
+            continue
+        if target.startswith("mailto:"):
+            continue
+        if target.startswith("#"):
+            if target[1:].lower() not in anchors_of(path):
+                problems.append((target, "no such heading in this file"))
+            continue
+        file_part, _, fragment = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append((target, f"missing file {file_part}"))
+            continue
+        if fragment:
+            if resolved.suffix.lower() not in (".md", ".markdown"):
+                continue
+            if fragment.lower() not in anchors_of(resolved):
+                problems.append(
+                    (target, f"no heading #{fragment} in {file_part}"))
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: check_links.py FILE.md [FILE.md ...]",
+              file=sys.stderr)
+        return 2
+    broken = 0
+    checked = 0
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            print(f"{name}: file not found", file=sys.stderr)
+            broken += 1
+            continue
+        checked += 1
+        for target, problem in check_file(path):
+            print(f"{name}: broken link {target!r}: {problem}",
+                  file=sys.stderr)
+            broken += 1
+    print(f"check_links: {checked} file(s) checked, {broken} problem(s)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
