@@ -5,7 +5,11 @@ pair in a sequential Python loop with no result reuse.  This bench pins
 the engine's two wins on a quick-scale sweep:
 
 * a **cache-warm re-run** (what every repeated experiment/figure run
-  sees) must complete at least 5x faster than a cold sequential sweep;
+  sees) must complete at least 5x faster than a cold sequential sweep
+  (measured against the per-job scalar path, ``REPRO_BATCH_KERNEL=0``,
+  so the baseline stays comparable across PRs; the grouped batch
+  kernel's own >=10x win is pinned in ``bench_kernel.py`` and reported
+  here informationally);
 * the **parallel executor** must produce bit-identical datasets (its
   wall-clock win is reported informationally — it depends on the
   machine's core count).
@@ -29,14 +33,24 @@ def _sweep(runner):
     return {b: runner.run_train_test(b, PLAN) for b in BENCHMARKS}
 
 
-def test_cached_rerun_5x_faster_than_cold_sequential(tmp_path):
+def test_cached_rerun_5x_faster_than_cold_sequential(tmp_path, monkeypatch):
     n_runs = len(BENCHMARKS) * (PLAN.n_train + PLAN.n_test)
 
-    # Cold sequential sweep: the seed repo's execution model.
+    # Cold sequential sweep: the seed repo's execution model — one
+    # scalar simulation per (benchmark, config) pair, so the grouped
+    # batch kernel (bench_kernel.py pins its own >=10x win) is disabled
+    # for this leg to keep the baseline comparable across PRs.
     sequential = SweepRunner(n_samples=N_SAMPLES, engine=ExecutionEngine())
+    monkeypatch.setenv("REPRO_BATCH_KERNEL", "0")
     start = time.perf_counter()
     cold_data = _sweep(sequential)
     cold = time.perf_counter() - start
+    monkeypatch.setenv("REPRO_BATCH_KERNEL", "1")
+
+    # The same cold sweep with grouped kernel dispatch (the default).
+    start = time.perf_counter()
+    _sweep(SweepRunner(n_samples=N_SAMPLES, engine=ExecutionEngine()))
+    cold_batched = time.perf_counter() - start
 
     # Same sweep through a cache-backed engine: first run populates,
     # second run (the common repeated-experiment case) only looks up.
@@ -57,7 +71,9 @@ def test_cached_rerun_5x_faster_than_cold_sequential(tmp_path):
     print(f"sweep: {len(BENCHMARKS)} benchmarks x "
           f"{PLAN.n_train}+{PLAN.n_test} configs x {N_SAMPLES} samples "
           f"({n_runs} simulations)")
-    print(f"  cold sequential : {cold * 1e3:8.1f} ms")
+    print(f"  cold sequential : {cold * 1e3:8.1f} ms (per-job scalar)")
+    print(f"  cold batched    : {cold_batched * 1e3:8.1f} ms "
+          f"({cold / cold_batched:6.1f}x)")
     print(f"  cached (memory) : {warm * 1e3:8.1f} ms "
           f"({cold / warm:6.1f}x)")
     print(f"  cached (disk)   : {disk * 1e3:8.1f} ms "

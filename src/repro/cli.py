@@ -37,8 +37,10 @@ remote worker fleet; they mirror the ``REPRO_JOBS`` /
 environment variables honoured by the library.  ``--shm/--no-shm``
 toggles the zero-copy shared-memory result transport (``REPRO_SHM``),
 ``--checkpoint-every N`` enables detailed-backend mid-run snapshots,
-and ``--progress`` prints a running jobs-done / cache-hit count while
-long sweeps execute.
+``--jit/--no-jit`` toggles numba compilation of the interval kernel's
+persistence scan (``REPRO_JIT``; a silent bit-identical NumPy fallback
+covers numba-less installs), and ``--progress`` prints a running
+jobs-done / cache-hit count while long sweeps execute.
 
 All flags are threaded through engine and job objects — a CLI run
 never mutates ``os.environ``, so embedding callers that invoke
@@ -195,6 +197,12 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                              "(repro worker serve); dispatches sweep "
                              "chunks to them instead of local processes "
                              "(REPRO_HOSTS)")
+    parser.add_argument("--jit", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="numba-compile the interval kernel's "
+                             "persistence scan (default: off; REPRO_JIT; "
+                             "silently falls back to the bit-identical "
+                             "NumPy scan when numba is unavailable)")
 
 
 def _cmd_list_benchmarks(out) -> int:
@@ -253,6 +261,14 @@ def _progress_printer(out, every: int = 25):
 def _make_engine(args, out=None):
     from repro.experiments.context import engine_from_env
 
+    # The JIT toggle is module state (set_jit), not an environment
+    # mutation — forked pool workers inherit it, and either way the
+    # NumPy and JIT scans are bit-identical, so a worker resolving the
+    # flag differently can only differ in speed.
+    if getattr(args, "jit", None) is not None:
+        from repro.uarch.jit import set_jit
+
+        set_jit(args.jit)
     on_result = None
     if getattr(args, "progress", False):
         on_result = _progress_printer(out or sys.stdout)

@@ -113,7 +113,7 @@ class WaveletNeuralPredictor:
         self._target_scale: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
-    def fit(self, X, traces) -> "WaveletNeuralPredictor":
+    def fit(self, X, traces, coefficients=None) -> "WaveletNeuralPredictor":
         """Fit per-coefficient RBF networks.
 
         Parameters
@@ -124,6 +124,13 @@ class WaveletNeuralPredictor:
         traces:
             ``(n_configs, n_samples)`` observed dynamics; ``n_samples``
             must be a power of two.
+        coefficients:
+            Optional precomputed ``dwt_batch(traces)`` under this
+            predictor's wavelet settings, same shape as ``traces``.  The
+            DWT is row-wise, so a caller fitting many predictors on
+            row-subsets of one trace matrix (the bootstrap ensemble) can
+            transform once and pass gathered rows — the transform of a
+            gather equals the gather of the transform, bit for bit.
         """
         X = as_2d_float_array(X, name="X")
         traces = as_2d_float_array(traces, name="traces")
@@ -138,9 +145,18 @@ class WaveletNeuralPredictor:
             raise ModelError(
                 f"n_coefficients={s.n_coefficients} exceeds trace length {n_samples}"
             )
-        # One vectorized transform of the whole (n_configs, n_samples)
-        # matrix instead of a per-row Python loop + vstack.
-        coeffs = dwt_batch(traces, wavelet=s.wavelet, convention=s.convention)
+        if coefficients is None:
+            # One vectorized transform of the whole (n_configs, n_samples)
+            # matrix instead of a per-row Python loop + vstack.
+            coeffs = dwt_batch(traces, wavelet=s.wavelet,
+                               convention=s.convention)
+        else:
+            coeffs = as_2d_float_array(coefficients, name="coefficients")
+            if coeffs.shape != traces.shape:
+                raise ModelError(
+                    f"coefficients shape {coeffs.shape} does not match "
+                    f"traces shape {traces.shape}"
+                )
         if s.scheme == "order":
             selected = np.arange(s.n_coefficients)
         else:
@@ -314,15 +330,24 @@ class WaveletPredictorEnsemble:
             )
         rng = rng_from_seed(self.seed)
         n = X.shape[0]
+        # One stacked transform for the whole ensemble: the DWT is
+        # row-wise, so every bootstrap member's coefficient matrix is a
+        # row-gather of this one (bit-identical to transforming the
+        # member's resampled traces directly), and K member refits pay
+        # for a single dwt_batch.
+        s = self.settings
+        coeffs = dwt_batch(traces, wavelet=s.wavelet,
+                           convention=s.convention)
         members = []
         for member in range(self.n_members):
             if member == 0:
-                Xm, tm = X, traces
+                Xm, tm, cm = X, traces, coeffs
             else:
                 idx = rng.integers(0, n, size=n)
-                Xm, tm = X[idx], traces[idx]
+                Xm, tm, cm = X[idx], traces[idx], coeffs[idx]
             members.append(
-                WaveletNeuralPredictor(self.settings).fit(Xm, tm))
+                WaveletNeuralPredictor(self.settings).fit(
+                    Xm, tm, coefficients=cm))
         self.members_ = members
         return self
 

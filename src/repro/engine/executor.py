@@ -70,8 +70,16 @@ class Executor(Protocol):
 
 
 def _run_chunk(jobs: Sequence[SimJob]) -> List[SimulationResult]:
-    """Worker entry point (module-level so it pickles)."""
-    return [job.run() for job in jobs]
+    """Worker entry point (module-level so it pickles).
+
+    Routed through the grouped kernel dispatcher
+    (:func:`repro.engine.kernel.run_jobs`): interval jobs sharing a
+    workload advance as one batched kernel call, everything else runs
+    per job.
+    """
+    from repro.engine.kernel import run_jobs
+
+    return run_jobs(jobs)
 
 
 def _run_chunk_transport(jobs: Sequence[SimJob],
@@ -84,9 +92,13 @@ def _run_chunk_transport(jobs: Sequence[SimJob],
     the pipe; without one the results themselves are returned (the
     pickle transport).  The measured seconds cover simulation only —
     the autotuner uses them to size subsequent chunks per backend.
+    Interval jobs in the chunk run through the batched kernel (see
+    :mod:`repro.engine.kernel`).
     """
+    from repro.engine.kernel import run_jobs
+
     start = time.perf_counter()
-    results = [job.run() for job in jobs]
+    results = run_jobs(jobs)
     elapsed = time.perf_counter() - start
     if spec is None:
         return results, elapsed
@@ -95,9 +107,11 @@ def _run_chunk_transport(jobs: Sequence[SimJob],
 
 def _sequential_stream(jobs: Sequence[SimJob],
                        ) -> Iterator[Tuple[int, SimulationResult]]:
-    """Lazy in-process stream: each job runs when the consumer pulls it."""
-    for i, job in enumerate(jobs):
-        yield i, job.run()
+    """Lazy in-process stream, group-at-a-time: each kernel group runs
+    when the consumer pulls its first member."""
+    from repro.engine.kernel import stream_jobs
+
+    return stream_jobs(jobs)
 
 
 class LocalExecutor:
@@ -110,17 +124,14 @@ class LocalExecutor:
                      ) -> Iterator[Tuple[int, SimulationResult]]:
         """Stream results lazily, in job order (== completion order).
 
-        Routed through ``self.run_batch`` one job at a time so
-        subclasses that instrument execution observe the streaming path
-        too.
+        Group-lazy: each kernel group (see :mod:`repro.engine.kernel`)
+        runs — via ``self.run_batch``, so subclasses that instrument
+        execution observe the streaming path too — when the consumer
+        pulls its first member.
         """
-        jobs = list(jobs)
+        from repro.engine.kernel import stream_jobs
 
-        def _drain() -> Iterator[Tuple[int, SimulationResult]]:
-            for i, job in enumerate(jobs):
-                yield i, self.run_batch([job])[0]
-
-        return _drain()
+        return stream_jobs(jobs, run=self.run_batch)
 
 
 #: Chunk size used to probe a backend whose per-job cost is unknown yet.

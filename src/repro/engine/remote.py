@@ -166,10 +166,14 @@ def _run_chunk_timed(jobs: Sequence[SimJob],
 
     The elapsed seconds cover simulation (no queueing, no transport) —
     the dispatcher's per-(host, backend) tuner needs the host's
-    intrinsic per-job speed, not its current load.
+    intrinsic per-job speed, not its current load.  Interval jobs in
+    the chunk run through the batched kernel
+    (:func:`repro.engine.kernel.run_jobs`).
     """
+    from repro.engine.kernel import run_jobs
+
     start = time.perf_counter()
-    results = [job.run() for job in jobs]
+    results = run_jobs(jobs)
     return results, time.perf_counter() - start
 
 

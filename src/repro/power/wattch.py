@@ -72,15 +72,80 @@ def leakage_power(config: MachineConfig) -> float:
     )
 
 
+def clock_peak(config: MachineConfig) -> float:
+    """Peak clock-tree power (W) for a configuration."""
+    return 9.0 + 14.0 * (config.fetch_width / 8.0) ** 0.8
+
+
 def clock_power(config: MachineConfig, utilization) -> np.ndarray:
     """Clock-tree power (W) with conditional gating.
 
     ``utilization`` is IPC / width in [0, 1]; an idle machine still burns
     a 25 % un-gateable floor, matching Wattch's "cc3" clock-gating style.
     """
-    peak = 9.0 + 14.0 * (config.fetch_width / 8.0) ** 0.8
+    peak = clock_peak(config)
     activity = 0.25 + 0.75 * np.clip(utilization, 0.0, 1.0)
     return peak * activity
+
+
+def _activities(ipc, mix: Mapping[str, np.ndarray], dl1_miss_rate,
+                il1_misses_per_inst, width) -> Dict[str, np.ndarray]:
+    """Per-cycle access counts for each structure (width-parameterized).
+
+    The shared body behind :meth:`WattchModel.activities_per_cycle` and
+    the batched :func:`power_trace_batch`: ``width`` is a scalar for the
+    former and a ``(batch, 1)`` column for the latter, and every
+    expression broadcasts identically either way.
+    """
+    ipc = np.asarray(ipc, dtype=float)
+    f_mem = np.asarray(mix["f_load"]) + np.asarray(mix["f_store"])
+    f_fp = np.asarray(mix["f_fp"])
+    return {
+        # Fetch probes the IL1 every fetch block; mispredicted paths
+        # keep it busy even when dispatch stalls.
+        "fetch_il1": 0.25 * ipc + 0.06 * width,
+        "rename": ipc,
+        # Wakeup broadcast on every completing instruction plus
+        # selection logic each cycle.
+        "issue_queue": 1.1 * ipc + 0.12 * width,
+        "rob": 2.0 * ipc,                      # insert + commit
+        "regfile": 2.2 * ipc,                  # ~2.2 operands per inst
+        "alu_int": ipc * np.clip(1.0 - f_mem - f_fp, 0.0, 1.0),
+        "alu_fp": ipc * f_fp,
+        "lsq": 1.5 * ipc * f_mem,              # allocate + search
+        "dl1": 1.1 * ipc * f_mem,
+        "l2": ipc * (f_mem * np.asarray(dl1_miss_rate)
+                     + np.asarray(il1_misses_per_inst)),
+    }
+
+
+def power_trace_batch(batch, ipc, mix: Mapping[str, np.ndarray],
+                      dl1_miss_rate, il1_misses_per_inst) -> np.ndarray:
+    """Total power (W) for a whole config batch: ``(batch, samples)``.
+
+    The batched counterpart of :meth:`WattchModel.power_trace`.
+    ``batch`` is a :class:`~repro.uarch.params.ConfigBatch`; ``ipc``,
+    ``dl1_miss_rate`` and ``il1_misses_per_inst`` are ``(batch,
+    samples)`` matrices and ``mix`` holds shared per-sample vectors.
+    Per-config scalars whose float arithmetic is not broadcast-stable
+    (the ``**``-heavy energy/leakage/clock-peak expressions) are
+    evaluated with the exact scalar code per member and stacked into
+    columns, so every output row is bit-identical to the scalar
+    ``power_trace`` of that row's configuration.
+    """
+    per_config = [structure_energies(config) for config in batch.configs]
+    energies = {
+        s: np.asarray([[e[s]] for e in per_config]) for s in STRUCTURES
+    }
+    activities = _activities(ipc, mix, dl1_miss_rate, il1_misses_per_inst,
+                             batch.fetch_width)
+    dynamic = sum(
+        energies[s] * activities[s] for s in STRUCTURES
+    ) * batch.frequency_ghz
+    utilization = np.asarray(ipc, dtype=float) / batch.fetch_width
+    clock = batch.map_scalar(clock_peak) \
+        * (0.25 + 0.75 * np.clip(utilization, 0.0, 1.0))
+    return dynamic + clock + batch.map_scalar(leakage_power)
 
 
 @dataclass(frozen=True)
@@ -105,27 +170,8 @@ class WattchModel:
         il1_misses_per_inst:
             IL1 misses per instruction.
         """
-        ipc = np.asarray(ipc, dtype=float)
-        f_mem = np.asarray(mix["f_load"]) + np.asarray(mix["f_store"])
-        f_fp = np.asarray(mix["f_fp"])
-        width = self.config.fetch_width
-        return {
-            # Fetch probes the IL1 every fetch block; mispredicted paths
-            # keep it busy even when dispatch stalls.
-            "fetch_il1": 0.25 * ipc + 0.06 * width,
-            "rename": ipc,
-            # Wakeup broadcast on every completing instruction plus
-            # selection logic each cycle.
-            "issue_queue": 1.1 * ipc + 0.12 * width,
-            "rob": 2.0 * ipc,                      # insert + commit
-            "regfile": 2.2 * ipc,                  # ~2.2 operands per inst
-            "alu_int": ipc * np.clip(1.0 - f_mem - f_fp, 0.0, 1.0),
-            "alu_fp": ipc * f_fp,
-            "lsq": 1.5 * ipc * f_mem,              # allocate + search
-            "dl1": 1.1 * ipc * f_mem,
-            "l2": ipc * (f_mem * np.asarray(dl1_miss_rate)
-                         + np.asarray(il1_misses_per_inst)),
-        }
+        return _activities(ipc, mix, dl1_miss_rate, il1_misses_per_inst,
+                           self.config.fetch_width)
 
     def power_trace(self, ipc, mix: Mapping[str, np.ndarray],
                     dl1_miss_rate, il1_misses_per_inst) -> np.ndarray:

@@ -82,7 +82,8 @@ class DVMPolicy:
         return np.clip(base - width_penalty + lsq_bonus, 0.05, 0.95)
 
     def apply_interval_effect(self, iq_avf, cpi, config: MachineConfig,
-                              mem_stall_frac) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+                              mem_stall_frac,
+                              threshold=None) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """First-order DVM effect on per-sample IQ AVF and CPI.
 
         Returns ``(iq_avf_managed, cpi_managed, engaged)`` where
@@ -91,10 +92,18 @@ class DVMPolicy:
         effectiveness fraction; the residual excess survives (and can
         violate the target — Figure 17 scenario 2).  Throttling costs
         performance in proportion to how much occupancy it removed.
+
+        ``threshold`` overrides the policy's own trigger threshold —
+        the batched kernel passes a ``(batch, 1)`` column of per-config
+        ``dvm_threshold`` values here (``config`` may likewise be a
+        :class:`~repro.uarch.params.ConfigBatch`); scalar callers leave
+        it ``None``.
         """
+        if threshold is None:
+            threshold = self.threshold
         avf = np.asarray(iq_avf, dtype=float)
         cpi = np.asarray(cpi, dtype=float)
-        excess = np.maximum(avf - self.threshold, 0.0)
+        excess = np.maximum(avf - threshold, 0.0)
         engaged = (excess > 0.0).astype(float)
         eta = self.effectiveness(config, mem_stall_frac)
         removed = excess * eta
@@ -103,10 +112,10 @@ class DVMPolicy:
         # (the paper's "rapid decreases").  The residual excess survives
         # where the mechanism saturates; the finite AVF sampling rate
         # (interval/5) leaves a small ripple on top.
-        undershoot = 0.15 * eta * self.threshold
+        undershoot = 0.15 * eta * threshold
         ripple = excess * eta * (0.25 / self.sample_divisor)
         avf_managed = np.minimum(
-            self.threshold - undershoot + excess * (1.0 - eta) + ripple,
+            threshold - undershoot + excess * (1.0 - eta) + ripple,
             avf,
         )
         avf_managed = np.clip(avf_managed, 0.0, 1.0)

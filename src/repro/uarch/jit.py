@@ -1,0 +1,158 @@
+"""Optional numba acceleration for the kernel's scalar recurrences.
+
+The batched interval kernel (:mod:`repro.uarch.interval_model`) is
+NumPy end-to-end except for one genuinely sequential piece: the
+persistence-smoothing EWMA scan, whose time steps depend on each other.
+The batch path already amortizes it across configs (one vector op per
+time step instead of one Python iteration per element), but for very
+large batches a compiled scan still wins.  This module provides that
+scan with three interchangeable implementations:
+
+* a **numba** ``@njit`` kernel (used when numba is importable *and* JIT
+  is enabled) — compiled without ``fastmath``, so IEEE semantics are
+  preserved and the output is bit-identical to the NumPy path;
+* the **NumPy** fallback (one vector op across batch rows per time
+  step) — always available, used whenever numba is absent or JIT is
+  off;
+* both proven bit-identical in ``tests/test_kernel_batch.py``.
+
+JIT is opt-in, resolved in priority order:
+
+1. an explicit ``jit=`` argument to :func:`ewma_scan`;
+2. the process-wide override set by :func:`set_jit` (the CLI's
+   ``--jit`` flag uses this — the environment is never mutated);
+3. the ``REPRO_JIT`` environment variable (``1``/``true``/``on``).
+
+numba is an *optional* dependency: when it is not installed every path
+silently uses the NumPy fallback, and requesting JIT is a no-op rather
+than an error (``jit_available()`` reports which case you are in).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+#: Process-wide JIT override set by :func:`set_jit` (``None`` = consult
+#: the ``REPRO_JIT`` environment).
+_JIT_OVERRIDE: Optional[bool] = None
+
+#: Lazily-resolved compiled scan: ``None`` = not attempted yet,
+#: ``False`` = numba unavailable (or compilation failed), otherwise the
+#: dispatcher-wrapped function.
+_NUMBA_SCAN = None
+
+_TRUE_STRINGS = ("1", "true", "on", "yes")
+
+
+def set_jit(enabled: Optional[bool]) -> None:
+    """Set the process-wide JIT preference (``None`` restores env lookup).
+
+    Used by the CLI's ``--jit`` flag so enabling JIT never mutates
+    ``os.environ`` (pool workers inherit the environment; an in-process
+    override keeps the decision local to the dispatching process, and
+    jobs shipped to workers re-resolve it from *their* environment).
+    """
+    global _JIT_OVERRIDE
+    _JIT_OVERRIDE = enabled if enabled is None else bool(enabled)
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_JIT", "").strip().lower() in _TRUE_STRINGS
+
+
+def jit_requested() -> bool:
+    """Whether JIT is *requested* (override or environment), ignoring
+    whether numba can actually honor the request."""
+    if _JIT_OVERRIDE is not None:
+        return _JIT_OVERRIDE
+    return _env_enabled()
+
+
+def _resolve_numba_scan():
+    """Import numba and compile the scan once; cache the outcome."""
+    global _NUMBA_SCAN
+    if _NUMBA_SCAN is None:
+        try:
+            import numba
+
+            # No fastmath: the compiled loop must keep strict IEEE
+            # ordering so its output is bit-identical to the NumPy scan.
+            _NUMBA_SCAN = numba.njit(cache=False)(_ewma_scan_loop)
+        except Exception:
+            _NUMBA_SCAN = False
+    return _NUMBA_SCAN
+
+
+def jit_available() -> bool:
+    """Whether the compiled scan can be used (numba importable)."""
+    return bool(_resolve_numba_scan())
+
+
+def jit_enabled(jit: Optional[bool] = None) -> bool:
+    """Resolve the effective JIT decision for one call."""
+    requested = jit_requested() if jit is None else bool(jit)
+    return requested and jit_available()
+
+
+def _ewma_scan_loop(traces, alpha):
+    """Reference scan: row-wise first-order IIR, strict IEEE ordering.
+
+    Plain nested loops on purpose — this exact function body is what
+    numba compiles, so the JIT and no-JIT paths share one definition of
+    the arithmetic (``alpha * x + (1 - alpha) * acc`` per element, in
+    time order).
+    """
+    n_rows, n_cols = traces.shape
+    out = np.empty_like(traces)
+    beta = 1.0 - alpha
+    for row in range(n_rows):
+        acc = traces[row, 0]
+        for col in range(n_cols):
+            acc = alpha * traces[row, col] + beta * acc
+            out[row, col] = acc
+    return out
+
+
+def _ewma_scan_numpy(traces: np.ndarray, alpha: float) -> np.ndarray:
+    """NumPy scan: one vector op across batch rows per time step.
+
+    Bit-identical to :func:`_ewma_scan_loop`: every element sees the
+    same ``alpha * x + (1 - alpha) * acc`` float64 operations in the
+    same order; only the loop structure (time-major instead of
+    row-major) differs.
+    """
+    out = np.empty_like(traces)
+    acc = traces[:, 0].copy()
+    beta = 1.0 - alpha
+    for col in range(traces.shape[1]):
+        acc = alpha * traces[:, col] + beta * acc
+        out[:, col] = acc
+    return out
+
+
+def ewma_scan(traces: np.ndarray, alpha: float,
+              jit: Optional[bool] = None) -> np.ndarray:
+    """Forward EWMA scan over the last axis of a ``(rows, samples)`` array.
+
+    ``out[r, t] = alpha * traces[r, t] + (1 - alpha) * out[r, t-1]``
+    with the accumulator seeded from ``traces[r, 0]`` (matching the
+    interval model's historical per-element loop).  Dispatches to the
+    numba kernel when JIT is enabled and available, else to the NumPy
+    fallback; the two are bit-identical.
+    """
+    traces = np.asarray(traces)
+    if traces.ndim != 2:
+        raise ValueError(
+            f"ewma_scan expects a (rows, samples) array, got shape "
+            f"{traces.shape}"
+        )
+    if traces.shape[1] == 0:
+        return np.empty_like(traces)
+    if jit_enabled(jit):
+        compiled = _resolve_numba_scan()
+        if compiled:
+            return compiled(np.ascontiguousarray(traces), alpha)
+    return _ewma_scan_numpy(traces, alpha)

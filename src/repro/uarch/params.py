@@ -14,7 +14,9 @@ tenth design parameter — represented here by ``dvm_enabled`` and
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
-from typing import Dict, Tuple
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 
@@ -104,8 +106,16 @@ class MachineConfig:
         return {name: getattr(self, name) for name in VARIED_PARAMETERS}
 
     def key(self) -> Tuple:
-        """Hashable identity used for caching and seeding."""
-        return tuple(getattr(self, f.name) for f in fields(self))
+        """Hashable identity used for caching and seeding.
+
+        Memoized: the batched kernel derives one noise seed per config
+        per call, and the engine keys every cache lookup off it.
+        """
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            cached = tuple(getattr(self, f.name) for f in fields(self))
+            object.__setattr__(self, "_key", cached)
+        return cached
 
     def with_dvm(self, enabled: bool = True, threshold: float = None) -> "MachineConfig":
         """Copy of this config with the DVM design parameter changed."""
@@ -134,6 +144,61 @@ class MachineConfig:
             depth += 2
             width //= 2
         return depth
+
+
+class ConfigBatch:
+    """A stack of :class:`MachineConfig` objects as broadcastable columns.
+
+    The batched interval kernel (:func:`repro.uarch.interval_model.\
+simulate_interval_batch`) evaluates the model equations for many
+    configurations at once on ``(batch, samples)`` matrices.  All the
+    per-config quantities those equations touch are exposed here as
+    ``(batch, 1)`` NumPy columns — one attribute per
+    :class:`MachineConfig` field, plus the derived ``pipeline_depth`` —
+    so an expression written against a scalar config broadcasts
+    unchanged against a batch: ``config.mem_ports / f_mem`` becomes
+    ``(B, 1) / (S,) -> (B, S)`` with bit-identical per-element results.
+
+    A ``ConfigBatch`` therefore *duck-types* as a ``MachineConfig`` for
+    the vectorized formulas in :mod:`repro.uarch.interval_model`,
+    :mod:`repro.reliability.avf`, :mod:`repro.reliability.dvm` and
+    :mod:`repro.power.wattch`.  Integer fields keep integer columns
+    (``int64``) so int-vs-float promotion matches the scalar
+    expressions exactly.
+    """
+
+    def __init__(self, configs: Sequence[MachineConfig]):
+        configs = tuple(configs)
+        if not configs:
+            raise ConfigurationError(
+                "ConfigBatch needs at least one configuration"
+            )
+        self.configs: Tuple[MachineConfig, ...] = configs
+        n = len(configs)
+        for f in fields(MachineConfig):
+            values = [getattr(config, f.name) for config in configs]
+            setattr(self, f.name, np.asarray(values).reshape(n, 1))
+        self.pipeline_depth = np.asarray(
+            [config.pipeline_depth for config in configs]
+        ).reshape(n, 1)
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def __getitem__(self, index: int) -> MachineConfig:
+        return self.configs[index]
+
+    def map_scalar(self, fn: Callable[[MachineConfig], float]) -> np.ndarray:
+        """Evaluate a scalar-config function per member, as a column.
+
+        Used for expressions whose float arithmetic would *not* be
+        bit-stable under column broadcasting (e.g. Python-float ``**``
+        in the Wattch energy model): the existing scalar code runs once
+        per config and the results stack into a ``(batch, 1)`` column.
+        """
+        return np.asarray(
+            [fn(config) for config in self.configs], dtype=float
+        ).reshape(len(self.configs), 1)
 
 
 def baseline_config(**overrides) -> MachineConfig:

@@ -84,6 +84,25 @@ class SimulationResult:
         )
 
 
+def interval_result_to_simulation(res) -> SimulationResult:
+    """Wrap one interval-kernel result as a :class:`SimulationResult`.
+
+    ``res`` is an :class:`~repro.uarch.interval_model.IntervalSimResult`
+    — either from a scalar :func:`~repro.uarch.interval_model.\
+simulate_interval` call or one row of a batched
+    :class:`~repro.uarch.interval_model.IntervalBatchResult` (whose
+    arrays are views into the batch matrices; :meth:`SimulationResult.\
+detach` copies them when a consumer needs owning arrays).
+    """
+    return SimulationResult(
+        benchmark=res.benchmark, config=res.config,
+        n_samples=res.n_samples, backend="interval",
+        traces={"cpi": res.cpi, "power": res.power,
+                "avf": res.avf, "iq_avf": res.iq_avf},
+        components=res.components,
+    )
+
+
 class Simulator:
     """Runs workloads over machine configurations.
 
@@ -146,13 +165,7 @@ class Simulator:
 
             res = simulate_interval(workload, config, n_samples,
                                     noise=self.noise)
-            traces = {"cpi": res.cpi, "power": res.power,
-                      "avf": res.avf, "iq_avf": res.iq_avf}
-            return SimulationResult(
-                benchmark=workload.name, config=config,
-                n_samples=n_samples, backend="interval",
-                traces=traces, components=res.components,
-            )
+            return interval_result_to_simulation(res)
         from repro.uarch.detailed import DetailedSimulator
 
         detailed = DetailedSimulator(config)
