@@ -1,0 +1,172 @@
+"""Bench: the compiled detailed-pipeline kernel vs the interpreter.
+
+Times a 64-interval detailed run through both execution engines of
+:class:`~repro.uarch.pipeline.OutOfOrderCore` — the object-model
+interpreter and the struct-of-arrays kernel — and proves bit-identity
+across {interpreter, kernel} x {fresh, checkpoint-resumed} before any
+timing is trusted.  With numba installed (CI's with-numba leg) the
+kernel is njit-compiled and must clear a **>=5x** speedup over the
+interpreter; without numba the kernel runs uncompiled and only the
+bit-identity claims are asserted (an uncompiled array kernel is scalar
+Python over numpy cells — slower than the interpreter, and never the
+auto-selected engine).
+
+Both engines are measured trace-memo-warm (synthesis is shared state,
+not engine work), best of two runs.  Results land in
+``BENCH_detailed_kernel.json`` (CI artifact).
+"""
+
+import hashlib
+import json
+import time
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.uarch.detailed import DetailedSimulator
+from repro.uarch.jit import jit_available
+from repro.uarch.params import baseline_config
+from repro.uarch.pipeline import OutOfOrderCore
+
+N_SAMPLES = 64
+IPS = 1000
+CHECKPOINT_EVERY = 8
+CRASH_AFTER = 25      # warmup + 24 measured intervals; snapshot at 24
+MIN_SPEEDUP = 5.0
+
+STREAMS = ("cpi", "power", "avf", "iq_avf", "mispredict_rate",
+           "dvm_throttled_frac")
+
+#: 8x400 gcc/baseline digest pinned in tests/test_detailed_kernel.py —
+#: re-asserted here so the bench never times a behaviourally-drifted
+#: build.
+GOLDEN_GCC_BASELINE = \
+    "72d40a0fe267aa9a2bd4b6eea233fadc404f6f71524086026bbfe77a34c24747"
+
+
+def _digest(result) -> str:
+    parts = []
+    for name in STREAMS:
+        arr = result.traces.get(name)
+        if arr is None:
+            arr = result.components[name]
+        parts.append(np.ascontiguousarray(arr, dtype=np.float64).tobytes())
+    return hashlib.sha256(b"".join(parts)).hexdigest()
+
+
+@contextmanager
+def _forced_engine(engine):
+    original = OutOfOrderCore.run_interval
+    OutOfOrderCore.run_interval = (
+        lambda self, trace, _original=original, _engine=engine:
+            _original(self, trace, engine=_engine))
+    try:
+        yield
+    finally:
+        OutOfOrderCore.run_interval = original
+
+
+def _run(engine, **kwargs):
+    with _forced_engine(engine):
+        return DetailedSimulator(baseline_config()).run(
+            "gcc", n_samples=N_SAMPLES, instructions_per_sample=IPS,
+            **kwargs)
+
+
+def _timed_run(engine):
+    best = float("inf")
+    digest = None
+    for _ in range(2):
+        start = time.perf_counter()
+        result = _run(engine)
+        wall = time.perf_counter() - start
+        best = min(best, wall)
+        digest = _digest(result)
+    return digest, best
+
+
+class _Crash(Exception):
+    pass
+
+
+def _resumed_digest(engine, path):
+    """Crash a checkpointing run mid-benchmark, resume it, digest it."""
+    original = OutOfOrderCore.run_interval
+    calls = [0]
+
+    def crashing(self, trace, _original=original):
+        calls[0] += 1
+        if calls[0] > CRASH_AFTER:
+            raise _Crash()
+        return _original(self, trace, engine=engine)
+
+    OutOfOrderCore.run_interval = crashing
+    try:
+        DetailedSimulator(baseline_config()).run(
+            "gcc", n_samples=N_SAMPLES, instructions_per_sample=IPS,
+            checkpoint_every=CHECKPOINT_EVERY, checkpoint_path=path)
+        raise AssertionError("crash injection never fired")
+    except _Crash:
+        pass
+    finally:
+        OutOfOrderCore.run_interval = original
+    assert path.exists(), "no checkpoint written before the crash"
+    return _digest(_run(engine, checkpoint_every=CHECKPOINT_EVERY,
+                        checkpoint_path=path))
+
+
+def test_goldens_unchanged():
+    result = DetailedSimulator(baseline_config()).run(
+        "gcc", n_samples=8, instructions_per_sample=400)
+    assert _digest(result) == GOLDEN_GCC_BASELINE
+
+
+def test_kernel_bit_identity_and_speedup(tmp_path):
+    kernel_engine = "kernel" if jit_available() else "kernel-interp"
+
+    # Warm the trace memo (and trigger njit compilation when numba is
+    # present) before anything is timed.
+    _run("python")
+    _run(kernel_engine)
+
+    interp_digest, interp_wall = _timed_run("python")
+    kernel_digest, kernel_wall = _timed_run(kernel_engine)
+    assert kernel_digest == interp_digest, (
+        "kernel and interpreter streams diverged")
+
+    resumed_interp = _resumed_digest("python", tmp_path / "interp.ckpt.npz")
+    resumed_kernel = _resumed_digest(kernel_engine,
+                                     tmp_path / "kernel.ckpt.npz")
+    assert resumed_interp == interp_digest, (
+        "checkpoint-resumed interpreter run diverged from a fresh one")
+    assert resumed_kernel == interp_digest, (
+        "checkpoint-resumed kernel run diverged from a fresh one")
+
+    speedup = interp_wall / kernel_wall
+    compiled = jit_available()
+    print(f"\n{N_SAMPLES}x{IPS} gcc/baseline: interpreter "
+          f"{interp_wall:.3f}s, kernel[{kernel_engine}] {kernel_wall:.3f}s "
+          f"({speedup:.1f}x); fresh/resumed digests identical across "
+          f"engines")
+    if compiled:
+        assert speedup >= MIN_SPEEDUP, (
+            f"compiled kernel speedup {speedup:.2f}x below the "
+            f"{MIN_SPEEDUP:.0f}x floor"
+        )
+
+    record = {
+        "bench": "detailed_kernel",
+        "n_samples": N_SAMPLES,
+        "instructions_per_sample": IPS,
+        "numba_available": compiled,
+        "kernel_engine": kernel_engine,
+        "interpreter_wall_seconds": round(interp_wall, 4),
+        "kernel_wall_seconds": round(kernel_wall, 4),
+        "speedup": round(speedup, 2),
+        "min_speedup_enforced": MIN_SPEEDUP if compiled else None,
+        "bit_identical_fresh": True,
+        "bit_identical_resumed": True,
+        "digest": interp_digest,
+    }
+    with open("BENCH_detailed_kernel.json", "w") as handle:
+        json.dump(record, handle, indent=2)

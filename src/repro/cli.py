@@ -37,10 +37,11 @@ remote worker fleet; they mirror the ``REPRO_JOBS`` /
 environment variables honoured by the library.  ``--shm/--no-shm``
 toggles the zero-copy shared-memory result transport (``REPRO_SHM``),
 ``--checkpoint-every N`` enables detailed-backend mid-run snapshots,
-``--jit/--no-jit`` toggles numba compilation of the interval kernel's
-persistence scan (``REPRO_JIT``; a silent bit-identical NumPy fallback
-covers numba-less installs), and ``--progress`` prints a running
-jobs-done / cache-hit count while long sweeps execute.
+``--jit/--no-jit`` toggles numba compilation of the hot loops — the
+interval kernel's persistence scan and the detailed pipeline kernel
+(``REPRO_JIT``; a silent bit-identical pure-Python fallback covers
+numba-less installs), and ``--progress`` prints a running jobs-done /
+cache-hit count while long sweeps execute.
 
 All flags are threaded through engine and job objects — a CLI run
 never mutates ``os.environ``, so embedding callers that invoke
@@ -143,6 +144,11 @@ def _build_parser() -> argparse.ArgumentParser:
     cache_gc.add_argument("--max-bytes", type=int, default=None, metavar="N",
                           help="evict oldest entries (by mtime) until the "
                                "cache holds at most N bytes")
+    cache_gc.add_argument("--checkpoint-ttl-hours", type=float, default=168.0,
+                          metavar="H",
+                          help="also sweep checkpoint snapshots older than H "
+                               "hours (plus stale-version and corrupt ones; "
+                               "default: 168 = 7 days)")
     cache_clear = cache_sub.add_parser(
         "clear", help="remove every cached simulation result")
     for sub_parser in (cache_stats, cache_gc, cache_clear):
@@ -199,10 +205,12 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                              "(REPRO_HOSTS)")
     parser.add_argument("--jit", action=argparse.BooleanOptionalAction,
                         default=None,
-                        help="numba-compile the interval kernel's "
-                             "persistence scan (default: off; REPRO_JIT; "
+                        help="numba-compile the hot loops: the interval "
+                             "kernel's persistence scan and the detailed "
+                             "pipeline kernel (default: off; REPRO_JIT; "
                              "silently falls back to the bit-identical "
-                             "NumPy scan when numba is unavailable)")
+                             "pure-Python engines when numba is "
+                             "unavailable)")
 
 
 def _cmd_list_benchmarks(out) -> int:
@@ -472,6 +480,7 @@ def _human_bytes(n: int) -> str:
 
 def _cmd_cache(args, out) -> int:
     import os
+    from pathlib import Path
 
     from repro.engine import ResultCache
     from repro.errors import EngineError
@@ -492,6 +501,8 @@ def _cmd_cache(args, out) -> int:
                   f"({_human_bytes(info['disk_bytes'])})\n")
         return 0
     if args.cache_command == "gc":
+        from repro.uarch.detailed import sweep_checkpoints
+
         stale_entries, stale_bytes = cache.gc_versions()
         out.write(f"stale versions: removed {stale_entries} entries "
                   f"({_human_bytes(stale_bytes)})\n")
@@ -500,6 +511,21 @@ def _cmd_cache(args, out) -> int:
             out.write(f"size gc: removed {entries} entries "
                       f"({_human_bytes(freed)}), "
                       f"{_human_bytes(cache.disk_bytes())} retained\n")
+        # Orphaned detailed-run snapshots: the cache's checkpoint
+        # subdirectory, plus an explicit REPRO_CHECKPOINT_DIR if it
+        # points elsewhere.
+        ttl = args.checkpoint_ttl_hours * 3600.0
+        ckpt_dirs = [str(Path(cache_dir) / "checkpoints")]
+        env_dir = os.environ.get("REPRO_CHECKPOINT_DIR", "").strip()
+        if env_dir and env_dir not in ckpt_dirs:
+            ckpt_dirs.append(env_dir)
+        ckpt_files = ckpt_bytes = 0
+        for directory in ckpt_dirs:
+            files, freed = sweep_checkpoints(directory, ttl_seconds=ttl)
+            ckpt_files += files
+            ckpt_bytes += freed
+        out.write(f"checkpoints: removed {ckpt_files} snapshots "
+                  f"({_human_bytes(ckpt_bytes)})\n")
         return 0
     if args.cache_command == "clear":
         removed = cache.clear()

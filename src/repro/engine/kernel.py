@@ -24,10 +24,16 @@ Everything around the kernel is unchanged by design:
 * **ordering** — results align index-for-index with the submitted
   chunk, whatever the grouping.
 
-Detailed-backend jobs, and interval jobs with no groupmate in their
-chunk, run through ``job.run()`` as always.  ``REPRO_BATCH_KERNEL=0``
-disables grouping entirely (the escape hatch; the scalar path is the
-same code as a batch of one, so this only changes speed, not bits).
+Detailed-backend jobs group too — same benchmark/workload/resolution —
+but run member-by-member through ``job.run()``: the win there is not a
+stacked kernel call but trace-memo sharing (the group's members
+synthesize identical interval traces, and running them consecutively
+means one synthesis feeds the whole group — see
+:mod:`repro.workloads.generator`).  Interval jobs with no groupmate in
+their chunk run through ``job.run()`` as always.
+``REPRO_BATCH_KERNEL=0`` disables grouping entirely (the escape hatch;
+the scalar path is the same code as a batch of one, so this only
+changes speed, not bits).
 """
 
 from __future__ import annotations
@@ -52,11 +58,23 @@ def group_signature(job: SimJob) -> Optional[Tuple]:
     resolution and noise setting, so they may run as one batched kernel
     call; an attached workload model participates through its canonical
     content (the same form the job key hashes).
+
+    Detailed jobs group on ``("detailed", benchmark, workload,
+    n_samples, instructions_per_sample)`` — a distinct shape from the
+    interval 4-tuple, so the backends never intermix.  A detailed group
+    runs its members sequentially (the cycle-level core is inherently
+    serial per config), but groupmates synthesize identical traces, so
+    running them consecutively turns the trace memo
+    (:mod:`repro.workloads.generator`) into per-group sharing: one
+    synthesis pays for the whole group.
     """
-    if job.backend != "interval":
-        return None
     workload = (job.benchmark if job.workload is None
                 else _canonical(job.workload))
+    if job.backend == "detailed":
+        return ("detailed", job.benchmark, workload, job.n_samples,
+                job.instructions_per_sample)
+    if job.backend != "interval":
+        return None
     return (job.benchmark, workload, job.n_samples, job.noise)
 
 
@@ -104,6 +122,11 @@ def run_group(jobs: Sequence[SimJob], indices: Sequence[int],
     """Run one planned group; results align with ``indices``."""
     if len(indices) == 1:
         return [jobs[indices[0]].run()]
+    if jobs[indices[0]].backend == "detailed":
+        # Sequential by design: trace-memo sharing is the batching
+        # (checkpointing, JIT-vs-interpreter selection and result
+        # assembly all live inside job.run(), bit-identical).
+        return [jobs[i].run() for i in indices]
     return _run_interval_group([jobs[i] for i in indices])
 
 

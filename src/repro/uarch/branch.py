@@ -99,6 +99,30 @@ class BranchTargetBuffer:
         self.misses += 1
         return False
 
+    def lru_table(self) -> np.ndarray:
+        """Contents as ``(n_sets, assoc)`` tags, LRU order, ``-1`` pad."""
+        table = np.full((self.n_sets, self.assoc), -1, dtype=np.int64)
+        for index, ways in enumerate(self._sets):
+            for way, tag in enumerate(ways):
+                table[index, way] = tag
+        return table
+
+    def load_lru_table(self, table: np.ndarray) -> None:
+        """Replace the contents from a :meth:`lru_table` array."""
+        table = np.asarray(table)
+        if table.shape != (self.n_sets, self.assoc):
+            raise ConfigurationError(
+                f"BTB snapshot shape {table.shape} does not match "
+                f"({self.n_sets}, {self.assoc})"
+            )
+        for index in range(self.n_sets):
+            ways = OrderedDict()
+            for way in range(self.assoc):
+                tag = int(table[index, way])
+                if tag != -1:
+                    ways[tag] = None
+            self._sets[index] = ways
+
 
 class ReturnAddressStack:
     """Bounded call/return stack (overflows wrap, as in hardware)."""

@@ -19,6 +19,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Tuple
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro._validation import is_power_of_two
 from repro.uarch.params import MachineConfig
@@ -106,6 +108,35 @@ class SetAssociativeCache:
         self.hits = 0
         self.misses = 0
 
+    def lru_table(self) -> np.ndarray:
+        """Contents as a ``(n_sets, assoc)`` int64 array of line ids.
+
+        Each row lists the set's resident lines in LRU order (oldest
+        first), ``-1``-padded at the end — the canonical snapshot form
+        shared with the array kernel's tag/stamp representation.
+        """
+        table = np.full((self.n_sets, self.assoc), -1, dtype=np.int64)
+        for index, ways in enumerate(self._sets):
+            for way, line in enumerate(ways):
+                table[index, way] = line
+        return table
+
+    def load_lru_table(self, table: np.ndarray) -> None:
+        """Replace the contents from a :meth:`lru_table` array."""
+        table = np.asarray(table)
+        if table.shape != (self.n_sets, self.assoc):
+            raise ConfigurationError(
+                f"{self.name}: snapshot shape {table.shape} does not match "
+                f"({self.n_sets}, {self.assoc})"
+            )
+        for index in range(self.n_sets):
+            ways: "OrderedDict[int, None]" = OrderedDict()
+            for way in range(self.assoc):
+                line = int(table[index, way])
+                if line != -1:
+                    ways[line] = None
+            self._sets[index] = ways
+
 
 class TLB:
     """A tiny fully-associative-by-hash TLB model (page-grain LRU cache)."""
@@ -133,6 +164,24 @@ class TLB:
         self._resident[page] = None
         self.misses += 1
         return False
+
+    def lru_pages(self) -> np.ndarray:
+        """Resident pages in LRU order (oldest first), ``-1``-padded."""
+        pages = np.full(self.entries, -1, dtype=np.int64)
+        for slot, page in enumerate(self._resident):
+            pages[slot] = page
+        return pages
+
+    def load_lru_pages(self, pages: np.ndarray) -> None:
+        """Replace the resident set from a :meth:`lru_pages` array."""
+        pages = np.asarray(pages)
+        if pages.shape != (self.entries,):
+            raise ConfigurationError(
+                f"{self.name}: snapshot shape {pages.shape} does not match "
+                f"({self.entries},)"
+            )
+        self._resident = OrderedDict(
+            (int(page), None) for page in pages if page != -1)
 
 
 @dataclass

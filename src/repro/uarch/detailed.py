@@ -24,8 +24,8 @@ from __future__ import annotations
 
 import hashlib
 import os
-import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Optional, Tuple, Union
 
@@ -41,8 +41,13 @@ from repro.workloads.phases import WorkloadModel
 from repro.workloads.spec2000 import get_benchmark
 
 #: Bump when checkpoint contents change incompatibly: old snapshots are
-#: then ignored (and deleted) instead of mis-resumed.
-CHECKPOINT_VERSION = "ckpt/v1"
+#: then ignored (and deleted) instead of mis-resumed.  v2 replaced the
+#: pickled core blob with the engine-independent array snapshot
+#: (:meth:`repro.uarch.pipeline.OutOfOrderCore.snapshot_state`) stored
+#: as plain ``state_*`` arrays — no pickling on either side, and either
+#: execution engine can resume it.  v1 files fail the meta digest (the
+#: version participates) and are deleted, never mis-resumed.
+CHECKPOINT_VERSION = "ckpt/v2"
 
 #: Trace arrays a snapshot carries, in a fixed order.
 _TRACE_FIELDS = ("cpi", "power", "avf", "iq_avf", "mispredicts", "throttled")
@@ -122,9 +127,10 @@ def _checkpoint_meta(workload: WorkloadModel, config: MachineConfig,
 def _save_checkpoint(path: Path, meta: str, next_interval: int,
                      core, traces) -> None:
     """Atomically snapshot ``core`` + measured traces (tmp + replace)."""
-    state = np.frombuffer(pickle.dumps(core), dtype=np.uint8)
     payload = {"meta": np.array(meta), "next": np.array(next_interval),
-               "core": state}
+               "state_version": np.array(CHECKPOINT_VERSION)}
+    for name, arr in core.snapshot_state().items():
+        payload["state_" + name] = arr
     for name, arr in zip(_TRACE_FIELDS, traces):
         payload[name] = arr[:next_interval]
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -140,16 +146,26 @@ def _save_checkpoint(path: Path, meta: str, next_interval: int,
         raise
 
 
-def _load_checkpoint(path: Path, meta: str, n_samples: int):
+def _load_checkpoint(path: Path, meta: str, n_samples: int,
+                     config: MachineConfig,
+                     dvm_controller: Optional[DVMController]):
     """``(core, traces, next_interval)`` from a snapshot, or ``None``.
 
     Corrupt, stale-version, or wrong-run snapshots are deleted and
-    treated as absent — the run then starts from interval 0.
+    treated as absent — the run then starts from interval 0.  The core
+    is rebuilt from ``config`` and the ``state_*`` arrays are loaded
+    through :meth:`~repro.uarch.pipeline.OutOfOrderCore.restore_state`
+    — no unpickling of executable state ever happens.
     """
+    from repro.uarch.pipeline import OutOfOrderCore
+
     if not path.exists():
         return None
     try:
         with np.load(path, allow_pickle=False) as data:
+            if ("state_version" not in data.files
+                    or str(data["state_version"]) != CHECKPOINT_VERSION):
+                raise ValueError("checkpoint from an incompatible version")
             if str(data["meta"]) != meta:
                 raise ValueError("checkpoint belongs to a different run")
             next_interval = int(data["next"])
@@ -160,7 +176,12 @@ def _load_checkpoint(path: Path, meta: str, n_samples: int):
                 arr = np.empty(n_samples)
                 arr[:next_interval] = data[name]
                 traces.append(arr)
-            core = pickle.loads(data["core"].tobytes())
+            core = OutOfOrderCore(config, dvm=dvm_controller)
+            core.restore_state({
+                key[len("state_"):]: data[key]
+                for key in data.files
+                if key.startswith("state_") and key != "state_version"
+            })
         return core, traces, next_interval
     except Exception:
         try:
@@ -168,6 +189,59 @@ def _load_checkpoint(path: Path, meta: str, n_samples: int):
         except OSError:
             pass
         return None
+
+
+def sweep_checkpoints(directory: Union[str, Path],
+                      ttl_seconds: float = 7 * 24 * 3600,
+                      now: Optional[float] = None) -> Tuple[int, int]:
+    """Remove orphaned checkpoint snapshots under ``directory``.
+
+    Returns ``(files_removed, bytes_reclaimed)``.  A snapshot is swept
+    when it is a leftover ``*.tmp`` from a crashed atomic save, an
+    ``*.npz`` that is unreadable or from another checkpoint version
+    (pre-v2 pickled snapshots have no ``state_version`` field), or an
+    ``*.npz`` older than ``ttl_seconds`` (completed runs delete their
+    snapshot, so an old one belongs to a sweep nobody resumed).
+    ``repro cache gc`` calls this for the cache's checkpoint directory.
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        return 0, 0
+    if now is None:
+        now = time.time()
+    removed = 0
+    reclaimed = 0
+    for path in sorted(root.rglob("*")):
+        if not path.is_file():
+            continue
+        name = path.name
+        if name.endswith(".tmp"):
+            stale = True
+        elif name.endswith(".npz"):
+            try:
+                stale = now - path.stat().st_mtime > ttl_seconds
+            except OSError:
+                continue
+            if not stale:
+                try:
+                    with np.load(path, allow_pickle=False) as data:
+                        stale = ("state_version" not in data.files
+                                 or str(data["state_version"])
+                                 != CHECKPOINT_VERSION)
+                except Exception:
+                    stale = True
+        else:
+            continue
+        if not stale:
+            continue
+        try:
+            size = path.stat().st_size
+            path.unlink()
+        except OSError:
+            continue
+        removed += 1
+        reclaimed += size
+    return removed, reclaimed
 
 
 class DetailedSimulator:
@@ -233,7 +307,8 @@ class DetailedSimulator:
         start_interval = 0
         core = None
         if checkpointing:
-            resumed = _load_checkpoint(checkpoint_path, meta, n_samples)
+            resumed = _load_checkpoint(checkpoint_path, meta, n_samples,
+                                       self.config, self.dvm_controller)
             if resumed is not None:
                 core, traces, start_interval = resumed
                 (cpi, power, avf, iq_avf, mispredicts, throttled) = traces

@@ -71,18 +71,39 @@ def jit_requested() -> bool:
     return _env_enabled()
 
 
-def _resolve_numba_scan():
-    """Import numba and compile the scan once; cache the outcome."""
-    global _NUMBA_SCAN
-    if _NUMBA_SCAN is None:
+#: Per-function compiled-dispatcher cache for :func:`compile_njit`.
+_NJIT_CACHE: dict = {}
+
+
+def compile_njit(fn):
+    """``numba.njit(fn)``, compiled lazily once per function.
+
+    Returns the dispatcher-wrapped function, or ``False`` when numba is
+    not importable (or compilation fails) — callers then run ``fn``
+    itself, which is by construction the same arithmetic.  Compiled
+    without ``fastmath`` so IEEE ordering (and therefore bit-identical
+    output) is preserved; shared by the EWMA scan and the detailed
+    pipeline kernel (:mod:`repro.uarch.pipeline_kernel`).
+    """
+    cached = _NJIT_CACHE.get(fn)
+    if cached is None:
         try:
             import numba
 
-            # No fastmath: the compiled loop must keep strict IEEE
-            # ordering so its output is bit-identical to the NumPy scan.
-            _NUMBA_SCAN = numba.njit(cache=False)(_ewma_scan_loop)
+            cached = numba.njit(cache=False)(fn)
         except Exception:
-            _NUMBA_SCAN = False
+            cached = False
+        _NJIT_CACHE[fn] = cached
+    return cached
+
+
+def _resolve_numba_scan():
+    """Compile the scan once through :func:`compile_njit`."""
+    global _NUMBA_SCAN
+    if _NUMBA_SCAN is None:
+        # No fastmath: the compiled loop must keep strict IEEE
+        # ordering so its output is bit-identical to the NumPy scan.
+        _NUMBA_SCAN = compile_njit(_ewma_scan_loop)
     return _NUMBA_SCAN
 
 

@@ -11,6 +11,9 @@ same phase-by-phase behaviour the interval model computes analytically.
 
 from __future__ import annotations
 
+import hashlib
+import os
+from collections import OrderedDict
 from typing import Optional
 
 import numpy as np
@@ -23,6 +26,45 @@ from repro.workloads.phases import WorkloadModel
 #: Bytes of address space given to each footprint component per phase.
 _LINE_BYTES = 64
 _PAGE_BYTES = 4096
+
+#: LRU memo of synthesized intervals, keyed by workload *content* plus
+#: the full synthesis arguments.  Synthesis is sequential (the RNG draws
+#: are data-dependent), so repeated detailed runs of the same benchmark
+#: — a fresh-vs-resumed comparison, an interpreter-vs-JIT benchmark, or
+#: a grouped engine dispatch — would otherwise re-pay it per run.  A
+#: 400-instruction interval is a few KB of arrays, so the default cap is
+#: generous without being unbounded.  Set ``REPRO_TRACE_MEMO=0`` to
+#: disable.  Memoized traces are frozen read-only: callers share them.
+_TRACE_MEMO_CAP = 512
+_TRACE_MEMO: "OrderedDict[tuple, InstructionTrace]" = OrderedDict()
+
+
+def _memo_enabled() -> bool:
+    raw = os.environ.get("REPRO_TRACE_MEMO", "").strip().lower()
+    return raw not in ("0", "false", "off", "no")
+
+
+def clear_trace_memo() -> None:
+    """Drop all memoized intervals (mainly for tests)."""
+    _TRACE_MEMO.clear()
+
+
+def _workload_token(workload: WorkloadModel) -> str:
+    """Content digest of everything synthesis reads from the workload.
+
+    Cached on the (frozen) workload instance; ``noise`` and
+    ``description`` are excluded because they do not influence the
+    synthesized stream.
+    """
+    token = getattr(workload, "_content_token", None)
+    if token is None:
+        digest = hashlib.sha256()
+        digest.update(workload.name.encode("utf8"))
+        digest.update(repr(workload.phases).encode("utf8"))
+        digest.update(np.ascontiguousarray(workload.schedule).tobytes())
+        token = digest.hexdigest()
+        object.__setattr__(workload, "_content_token", token)
+    return token
 
 
 def _dependence_distances(n: int, mean_distance: float,
@@ -45,6 +87,14 @@ def synthesize_interval(workload: WorkloadModel, sample_index: int,
         raise WorkloadError(f"n_instructions must be >= 1, got {n_instructions}")
     if seed is None:
         seed = stable_hash(workload.name, sample_index, n_samples, n_instructions)
+    memo_key = None
+    if _memo_enabled():
+        memo_key = (_workload_token(workload), sample_index, n_samples,
+                    n_instructions, seed)
+        cached = _TRACE_MEMO.get(memo_key)
+        if cached is not None:
+            _TRACE_MEMO.move_to_end(memo_key)
+            return cached
     rng = rng_from_seed(seed)
 
     weights = workload.phase_weights(n_samples)[sample_index]
@@ -142,8 +192,17 @@ def synthesize_interval(workload: WorkloadModel, sample_index: int,
     ace_frac = workload.phase_vector("ace_fraction")[phase_ids]
     ace = rng.uniform(size=n_instructions) < ace_frac
 
-    return InstructionTrace(op=op, src1_dist=src1, src2_dist=src2,
-                            address=address, pc=pc, taken=taken, ace=ace)
+    trace = InstructionTrace(op=op, src1_dist=src1, src2_dist=src2,
+                             address=address, pc=pc, taken=taken, ace=ace)
+    if memo_key is not None:
+        # Shared between callers: freeze so accidental in-place writes
+        # fail loudly instead of corrupting every later resident reuse.
+        for arr in (op, src1, src2, address, pc, taken, ace):
+            arr.setflags(write=False)
+        _TRACE_MEMO[memo_key] = trace
+        if len(_TRACE_MEMO) > _TRACE_MEMO_CAP:
+            _TRACE_MEMO.popitem(last=False)
+    return trace
 
 
 def synthesize_trace(workload: WorkloadModel, n_samples: int,

@@ -294,7 +294,14 @@ def test_group_signature_partitions():
     jobs = _mixed_jobs()
     detailed = SimJob("gcc", baseline_config(), backend="detailed",
                       n_samples=8, instructions_per_sample=50)
-    assert group_signature(detailed) is None
+    # Detailed jobs group among themselves (trace-memo sharing), on a
+    # distinct signature shape that can never collide with interval's.
+    sig = group_signature(detailed)
+    assert sig is not None and sig[0] == "detailed"
+    assert sig != group_signature(jobs[0])
+    other_res = SimJob("gcc", baseline_config(), backend="detailed",
+                       n_samples=8, instructions_per_sample=80)
+    assert group_signature(other_res) != sig
     sigs = {group_signature(j) for j in jobs}
     assert len(sigs) == 3
     groups = plan_groups(jobs + [detailed])

@@ -1,0 +1,63 @@
+"""Capture golden sha256 digests of detailed-backend runs.
+
+Run this against a known-good revision to (re)generate the digest table
+pinned in ``tests/test_detailed_kernel.py``.  The digests cover every
+stream a detailed run emits (traces + components) so any behavioural
+drift in the pipeline, caches, branch predictor or DVM controller is
+caught bit-for-bit.
+"""
+
+import hashlib
+import json
+import sys
+
+import numpy as np
+
+from repro.uarch.detailed import DetailedSimulator
+from repro.uarch.params import MachineConfig, baseline_config
+
+STREAMS = ("cpi", "power", "avf", "iq_avf", "mispredict_rate",
+           "dvm_throttled_frac")
+
+
+def digest(result) -> str:
+    parts = []
+    for name in STREAMS:
+        arr = result.traces.get(name)
+        if arr is None:
+            arr = result.components[name]
+        parts.append(np.ascontiguousarray(arr, dtype=np.float64).tobytes())
+    return hashlib.sha256(b"".join(parts)).hexdigest()
+
+
+def golden_cases():
+    weak = MachineConfig(fetch_width=2, rob_size=96, iq_size=32,
+                         lsq_size=16, l2_size_kb=256, l2_latency=20,
+                         il1_size_kb=8, dl1_size_kb=8, dl1_latency=4)
+    strong = MachineConfig(fetch_width=16, rob_size=160, iq_size=128,
+                           lsq_size=64, l2_size_kb=4096, l2_latency=8,
+                           il1_size_kb=64, dl1_size_kb=64, dl1_latency=1)
+    return [
+        ("gcc-baseline", "gcc", baseline_config()),
+        ("mcf-weak", "mcf", weak),
+        ("swim-strong", "swim", strong),
+        ("mcf-dvm-tight", "mcf", baseline_config().with_dvm(True, 0.05)),
+        ("gcc-dvm", "gcc", baseline_config().with_dvm(True, 0.3)),
+    ]
+
+
+def main():
+    n_samples, ips = 8, 400
+    table = {}
+    for label, bench, config in golden_cases():
+        result = DetailedSimulator(config).run(
+            bench, n_samples=n_samples, instructions_per_sample=ips)
+        table[label] = digest(result)
+        sys.stderr.write(f"{label}: {table[label]}\n")
+    json.dump({"n_samples": n_samples, "instructions_per_sample": ips,
+               "digests": table}, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main()
