@@ -11,19 +11,34 @@ bit-identity claims are asserted (an uncompiled array kernel is scalar
 Python over numpy cells — slower than the interpreter, and never the
 auto-selected engine).
 
-Both engines are measured trace-memo-warm (synthesis is shared state,
-not engine work), best of two runs.  Results land in
+A second leg times the **batched** stepper: a 64-config detailed group
+advanced through one :func:`~repro.uarch.pipeline_kernel
+.step_interval_batch` call per interval
+(:func:`~repro.uarch.detailed.run_detailed_group`, two prange threads)
+against the same 64 configs run job-by-job through the scalar kernel.
+Bit-identity is asserted member-for-member, fresh and resumed from
+identical mid-run snapshots; with numba the batched path must clear
+**>=3x** over the scalar kernel in both cases.
+
+All engines are measured warm — the trace memo is shared state, njit
+compilation (persistent-cache or in-memory) happens on an untimed
+warm-up pass — best of two runs.  Results land in
 ``BENCH_detailed_kernel.json`` (CI artifact).
 """
 
+import dataclasses
 import hashlib
 import json
+import shutil
 import time
 from contextlib import contextmanager
 
 import numpy as np
 
-from repro.uarch.detailed import DetailedSimulator
+from repro.engine.jobs import SimJob
+from repro.uarch import detailed as detailed_module
+from repro.uarch import jit
+from repro.uarch.detailed import DetailedSimulator, run_detailed_group
 from repro.uarch.jit import jit_available
 from repro.uarch.params import baseline_config
 from repro.uarch.pipeline import OutOfOrderCore
@@ -33,6 +48,20 @@ IPS = 1000
 CHECKPOINT_EVERY = 8
 CRASH_AFTER = 25      # warmup + 24 measured intervals; snapshot at 24
 MIN_SPEEDUP = 5.0
+
+# Batched leg: shorter intervals over a wide config axis — the shape a
+# detailed DSE group actually has (many near-identical configs, one
+# workload), where per-core call overhead is the bottleneck batching
+# removes.  Without numba both paths run the same scalar interpreter
+# per row (parity is the only claim, no floor), so the leg shrinks to
+# keep the numba-less CI legs fast.
+BATCH_SIZE = 64 if jit_available() else 16
+BATCH_SAMPLES = 32 if jit_available() else 16
+BATCH_IPS = 250
+BATCH_EVERY = 8
+BATCH_CRASH_AT = 9   # first snapshot lands at interval 8, then crash
+BATCH_THREADS = 2
+MIN_BATCH_SPEEDUP = 3.0
 
 STREAMS = ("cpi", "power", "avf", "iq_avf", "mispredict_rate",
            "dvm_throttled_frac")
@@ -168,5 +197,145 @@ def test_kernel_bit_identity_and_speedup(tmp_path):
         "bit_identical_resumed": True,
         "digest": interp_digest,
     }
+    _merge_record(record)
+
+
+def _merge_record(update):
+    """Fold one leg's metrics into ``BENCH_detailed_kernel.json`` so the
+    scalar and batched legs can run in either order (or alone)."""
+    try:
+        with open("BENCH_detailed_kernel.json") as handle:
+            record = json.load(handle)
+    except (OSError, ValueError):
+        record = {"bench": "detailed_kernel"}
+    record.update(update)
     with open("BENCH_detailed_kernel.json", "w") as handle:
         json.dump(record, handle, indent=2)
+
+
+# ----------------------------------------------------------------------
+# Batched leg: one stacked kernel call per interval for a 64-config group
+# ----------------------------------------------------------------------
+def _batch_jobs(checkpoint_dir=None):
+    base = baseline_config()
+    kwargs = {}
+    if checkpoint_dir is not None:
+        kwargs = dict(checkpoint_every=BATCH_EVERY,
+                      checkpoint_dir=str(checkpoint_dir))
+    return [
+        SimJob("gcc", dataclasses.replace(base, iq_size=16 + i),
+               backend="detailed", n_samples=BATCH_SAMPLES,
+               instructions_per_sample=BATCH_IPS, **kwargs)
+        for i in range(BATCH_SIZE)
+    ]
+
+
+def _timed(fn, reps=2):
+    best = float("inf")
+    out = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - start)
+    return out, best
+
+
+def test_batched_kernel_bit_identity_and_speedup(tmp_path):
+    kernel_engine = "kernel" if jit_available() else "kernel-interp"
+    jit.set_jit_threads(BATCH_THREADS)
+    try:
+        jobs = _batch_jobs()
+
+        # Warm-up, off the measured path: trace memo, the scalar-kernel
+        # njit compile, and the prange batch-loop compile all land here.
+        def scalar_leg():
+            with _forced_engine(kernel_engine):
+                return [job.run() for job in jobs]
+
+        scalar_digests = [_digest(r) for r in scalar_leg()]
+        warm = run_detailed_group(jobs, engine="batch")
+        assert [_digest(r) for r in warm] == scalar_digests, (
+            "batched streams diverged from per-job scalar kernel runs")
+
+        scalar_results, scalar_wall = _timed(scalar_leg)
+        batch_results, batch_wall = _timed(
+            lambda: run_detailed_group(jobs, engine="batch"))
+        assert [_digest(r) for r in scalar_results] == scalar_digests
+        assert [_digest(r) for r in batch_results] == scalar_digests
+
+        # Resumed leg: crash one checkpointing batched run mid-stream,
+        # clone the snapshot directory, and resume the identical
+        # snapshots through both paths.
+        dir_scalar = tmp_path / "ckpt-scalar"
+        dir_batch = tmp_path / "ckpt-batch"
+        jobs_scalar = _batch_jobs(dir_scalar)
+        jobs_batch = _batch_jobs(dir_batch)
+        original = detailed_module.synthesize_interval
+
+        def crashing(workload, i, n, ips, seed=None):
+            if i == BATCH_CRASH_AT and seed is None:
+                raise _Crash()
+            if seed is None:
+                return original(workload, i, n, ips)
+            return original(workload, i, n, ips, seed=seed)
+
+        detailed_module.synthesize_interval = crashing
+        try:
+            run_detailed_group(jobs_scalar, engine="batch")
+            raise AssertionError("crash injection never fired")
+        except _Crash:
+            pass
+        finally:
+            detailed_module.synthesize_interval = original
+        snapshots = list(dir_scalar.glob("*.ckpt.npz"))
+        assert len(snapshots) == BATCH_SIZE, (
+            "expected one mid-stream snapshot per group member")
+        shutil.copytree(dir_scalar, dir_batch)
+
+        def scalar_resume():
+            with _forced_engine(kernel_engine):
+                return [job.run() for job in jobs_scalar]
+
+        resumed_scalar, scalar_resumed_wall = _timed(scalar_resume, reps=1)
+        resumed_batch, batch_resumed_wall = _timed(
+            lambda: run_detailed_group(jobs_batch, engine="batch"), reps=1)
+        assert [_digest(r) for r in resumed_scalar] == scalar_digests, (
+            "scalar-resumed streams diverged from fresh runs")
+        assert [_digest(r) for r in resumed_batch] == scalar_digests, (
+            "batch-resumed streams diverged from fresh runs")
+    finally:
+        jit.set_jit_threads(None)
+
+    compiled = jit_available()
+    speedup = scalar_wall / batch_wall
+    resumed_speedup = scalar_resumed_wall / batch_resumed_wall
+    print(f"\nB={BATCH_SIZE} x {BATCH_SAMPLES}x{BATCH_IPS} gcc: scalar "
+          f"kernel {scalar_wall:.3f}s, batched {batch_wall:.3f}s "
+          f"({speedup:.1f}x fresh); resumed {scalar_resumed_wall:.3f}s vs "
+          f"{batch_resumed_wall:.3f}s ({resumed_speedup:.1f}x); "
+          f"{BATCH_THREADS} threads, digests identical")
+    if compiled:
+        assert speedup >= MIN_BATCH_SPEEDUP, (
+            f"fresh batched speedup {speedup:.2f}x below the "
+            f"{MIN_BATCH_SPEEDUP:.0f}x floor")
+        assert resumed_speedup >= MIN_BATCH_SPEEDUP, (
+            f"resumed batched speedup {resumed_speedup:.2f}x below the "
+            f"{MIN_BATCH_SPEEDUP:.0f}x floor")
+
+    _merge_record({
+        "batched": {
+            "batch_size": BATCH_SIZE,
+            "n_samples": BATCH_SAMPLES,
+            "instructions_per_sample": BATCH_IPS,
+            "jit_threads": BATCH_THREADS,
+            "numba_available": compiled,
+            "scalar_wall_seconds": round(scalar_wall, 4),
+            "batched_wall_seconds": round(batch_wall, 4),
+            "speedup": round(speedup, 2),
+            "resumed_scalar_wall_seconds": round(scalar_resumed_wall, 4),
+            "resumed_batched_wall_seconds": round(batch_resumed_wall, 4),
+            "resumed_speedup": round(resumed_speedup, 2),
+            "min_speedup_enforced": MIN_BATCH_SPEEDUP if compiled else None,
+            "bit_identical": True,
+        },
+    })

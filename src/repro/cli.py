@@ -40,7 +40,9 @@ toggles the zero-copy shared-memory result transport (``REPRO_SHM``),
 ``--jit/--no-jit`` toggles numba compilation of the hot loops — the
 interval kernel's persistence scan and the detailed pipeline kernel
 (``REPRO_JIT``; a silent bit-identical pure-Python fallback covers
-numba-less installs), and ``--progress`` prints a running jobs-done /
+numba-less installs), ``--jit-threads N`` lets the batched detailed
+kernel ``prange`` across N threads (``REPRO_JIT_THREADS``; bit-identical
+at any count), and ``--progress`` prints a running jobs-done /
 cache-hit count while long sweeps execute.
 
 All flags are threaded through engine and job objects — a CLI run
@@ -211,6 +213,12 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                              "silently falls back to the bit-identical "
                              "pure-Python engines when numba is "
                              "unavailable)")
+    parser.add_argument("--jit-threads", type=int, default=None,
+                        metavar="N",
+                        help="threads the batched detailed kernel prange-s "
+                             "across (default: 1; REPRO_JIT_THREADS; "
+                             "bit-identical at any count — batch rows are "
+                             "independent, so this is a speed knob only)")
 
 
 def _cmd_list_benchmarks(out) -> int:
@@ -277,6 +285,10 @@ def _make_engine(args, out=None):
         from repro.uarch.jit import set_jit
 
         set_jit(args.jit)
+    if getattr(args, "jit_threads", None) is not None:
+        from repro.uarch.jit import set_jit_threads
+
+        set_jit_threads(args.jit_threads)
     on_result = None
     if getattr(args, "progress", False):
         on_result = _progress_printer(out or sys.stdout)

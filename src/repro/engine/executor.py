@@ -170,20 +170,56 @@ class ChunkTuner:
         old = self._tuned.get(key)
         self._tuned[key] = per_job if old is None else 0.5 * (old + per_job)
 
-    def plan(self, key: Hashable, n_jobs: int, workers: int) -> int:
+    def plan(self, key: Hashable, n_jobs: int, workers: int,
+             group_size: int = 1) -> int:
         """Jobs per chunk for ``key`` in a batch of ``n_jobs``.
 
         A tuned key targets ``target_seconds`` of measured work per
         chunk (capped so every one of ``workers`` still gets a chunk);
         an untuned key gets a small probe chunk.
+
+        ``group_size > 1`` plans in whole-group units: batched detailed
+        dispatch advances a kernel group as one stacked call, so a
+        chunk is sized by per-*group* cost (the recorded per-job time
+        times the group run length) and always returned as a multiple
+        of ``group_size`` — a chunk boundary never shears a group.
+        With the default ``group_size=1`` this is exactly the
+        historical per-job plan.
         """
-        default = max(1, -(-n_jobs // (max(workers, 1) * 4)))
+        group_size = max(1, int(group_size))
+        n_units = -(-n_jobs // group_size)
+        default = max(1, -(-n_units // (max(workers, 1) * 4)))
         per_job = self._tuned.get(key)
         if per_job is None:
-            return min(default, PROBE_CHUNK_SIZE)
-        per_job = max(per_job, 1e-7)
-        upper = max(1, -(-n_jobs // max(workers, 1)))
-        return max(1, min(int(self.target_seconds / per_job), upper))
+            probe = max(1, PROBE_CHUNK_SIZE // group_size)
+            return min(default, probe) * group_size
+        per_unit = max(per_job * group_size, 1e-7)
+        upper = max(1, -(-n_units // max(workers, 1)))
+        units = max(1, min(int(self.target_seconds / per_unit), upper))
+        return units * group_size
+
+
+def batch_group_run(jobs: Sequence[SimJob], start: int) -> int:
+    """Length of the contiguous batched-group run at ``start``.
+
+    The number of consecutive jobs from ``start`` sharing one detailed
+    group signature, when batched detailed dispatch is on — the unit
+    chunk planning must not shear (the run advances as one stacked
+    kernel call).  ``1`` whenever batching is off, the job is not
+    detailed, or it has no groupmate at ``start``.
+    """
+    from repro.engine.kernel import detailed_batch_enabled, group_signature
+
+    job = jobs[start]
+    if job.backend != "detailed" or not detailed_batch_enabled():
+        return 1
+    signature = group_signature(job)
+    if signature is None:
+        return 1
+    stop = start + 1
+    while stop < len(jobs) and group_signature(jobs[stop]) == signature:
+        stop += 1
+    return stop - start
 
 
 def carve_chunk(jobs: Sequence[SimJob], start: int, size: int) -> int:
@@ -192,14 +228,37 @@ def carve_chunk(jobs: Sequence[SimJob], start: int, size: int) -> int:
     Chunks are kept backend-homogeneous — a chunk's wall time feeds a
     per-backend tuning estimate, and mixing sub-millisecond interval
     jobs with seconds-long detailed jobs in one measurement would
-    poison it.  Shared by every chunking executor so their carving
-    rules cannot diverge.
+    poison it.  When batched detailed dispatch is on, boundaries also
+    snap to group boundaries: a contiguous run of one detailed group
+    signature advances as a single stacked kernel call, so shearing it
+    across chunks would defeat the batching.  The boundary rounds down
+    to the run's first job when the chunk holds anything else, and
+    extends to the run's end when the run *is* the chunk.  Shared by
+    every chunking executor so their carving rules cannot diverge.
     """
     stop = min(len(jobs), start + size)
     backend = jobs[start].backend
     for j in range(start + 1, stop):
         if jobs[j].backend != backend:
-            return j
+            stop = j
+            break
+    if stop < len(jobs) and backend == "detailed":
+        from repro.engine.kernel import (detailed_batch_enabled,
+                                         group_signature)
+
+        if detailed_batch_enabled():
+            signature = group_signature(jobs[stop])
+            if (signature is not None
+                    and group_signature(jobs[stop - 1]) == signature):
+                run_start = stop - 1
+                while (run_start > start
+                       and group_signature(jobs[run_start - 1]) == signature):
+                    run_start -= 1
+                if run_start > start:
+                    return run_start  # round down to the group boundary
+                while (stop < len(jobs)
+                       and group_signature(jobs[stop]) == signature):
+                    stop += 1  # the run is the whole chunk: take it whole
     return stop
 
 
@@ -338,19 +397,23 @@ class ParallelExecutor:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def planned_chunk_size(self, backend: str, n_jobs: int) -> int:
+    def planned_chunk_size(self, backend: str, n_jobs: int,
+                           group_size: int = 1) -> int:
         """Jobs per chunk for ``backend`` in a batch of ``n_jobs``.
 
         Fixed ``chunk_size`` wins; otherwise a tuned backend targets
         ``target_chunk_seconds`` of measured work per chunk (capped so
         every worker still gets a chunk) and an untuned backend gets a
         small probe chunk so its first timing lands quickly.
+        ``group_size`` (see :func:`batch_group_run`) makes the plan a
+        whole-group multiple under batched detailed dispatch.
         """
         if self.chunk_size is not None:
             return self.chunk_size
         if not self.autotune:
             return max(1, -(-n_jobs // (self.max_workers * 4)))
-        return self.tuner.plan(backend, n_jobs, self.max_workers)
+        return self.tuner.plan(backend, n_jobs, self.max_workers,
+                               group_size=group_size)
 
     def _record_timing(self, backend: str, per_job: float) -> None:
         self.tuner.record(backend, per_job)
@@ -387,7 +450,8 @@ class ParallelExecutor:
             if self.chunk_size is not None or not self.autotune:
                 size = self.chunk_size or default_size
             elif self.tuner.known(backend):
-                size = self.planned_chunk_size(backend, n)
+                size = self.planned_chunk_size(
+                    backend, n, group_size=batch_group_run(jobs, start))
             elif len(futures) < self.max_workers:
                 size = min(default_size, PROBE_CHUNK_SIZE)  # probe wave
             else:

@@ -24,13 +24,17 @@ Everything around the kernel is unchanged by design:
 * **ordering** — results align index-for-index with the submitted
   chunk, whatever the grouping.
 
-Detailed-backend jobs group too — same benchmark/workload/resolution —
-but run member-by-member through ``job.run()``: the win there is not a
-stacked kernel call but trace-memo sharing (the group's members
-synthesize identical interval traces, and running them consecutively
-means one synthesis feeds the whole group — see
-:mod:`repro.workloads.generator`).  Interval jobs with no groupmate in
-their chunk run through ``job.run()`` as always.
+Detailed-backend jobs group too — same benchmark/workload/resolution.
+With JIT enabled the whole group advances through one stacked
+:func:`~repro.uarch.pipeline_kernel.step_interval_batch` call per
+interval (:func:`~repro.uarch.detailed.run_detailed_group`: per-core
+state gains a leading config axis, optionally ``prange``-threaded —
+see :func:`detailed_batch_enabled`); otherwise members run one by one
+through ``job.run()``, where the win is trace-memo sharing (the
+group's members synthesize identical interval traces, so one synthesis
+feeds the whole group — see :mod:`repro.workloads.generator`).
+Interval jobs with no groupmate in their chunk run through
+``job.run()`` as always.
 ``REPRO_BATCH_KERNEL=0`` disables grouping entirely (the escape hatch;
 the scalar path is the same code as a batch of one, so this only
 changes speed, not bits).
@@ -49,6 +53,21 @@ def batch_kernel_enabled() -> bool:
     """Whether grouped kernel dispatch is on (``REPRO_BATCH_KERNEL``)."""
     return os.environ.get("REPRO_BATCH_KERNEL", "1").strip().lower() \
         not in ("0", "false", "off", "no")
+
+
+def detailed_batch_enabled() -> bool:
+    """Whether detailed groups run through the stacked batch stepper.
+
+    Requires grouped dispatch (``REPRO_BATCH_KERNEL``) *and* an enabled
+    JIT: without numba the batched loop calls the same scalar
+    interpreter per row, so per-job execution is just as fast and keeps
+    the historical dispatch.  Routing only changes speed, never bits —
+    :func:`repro.uarch.detailed.run_detailed_group` is pinned
+    bit-identical to ``job.run()`` by the golden digests.
+    """
+    from repro.uarch.jit import jit_enabled
+
+    return batch_kernel_enabled() and jit_enabled()
 
 
 def group_signature(job: SimJob) -> Optional[Tuple]:
@@ -123,7 +142,14 @@ def run_group(jobs: Sequence[SimJob], indices: Sequence[int],
     if len(indices) == 1:
         return [jobs[indices[0]].run()]
     if jobs[indices[0]].backend == "detailed":
-        # Sequential by design: trace-memo sharing is the batching
+        if detailed_batch_enabled():
+            # One stacked kernel call per interval for the whole group
+            # (checkpointing, warmup and result assembly stay per-member
+            # inside run_detailed_group, bit-identical to job.run()).
+            from repro.uarch.detailed import run_detailed_group
+
+            return run_detailed_group([jobs[i] for i in indices])
+        # Sequential fallback: trace-memo sharing is the batching
         # (checkpointing, JIT-vs-interpreter selection and result
         # assembly all live inside job.run(), bit-identical).
         return [jobs[i].run() for i in indices]

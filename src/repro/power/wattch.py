@@ -21,7 +21,8 @@ Watts, roughly 20–140 W across the Table 2 design space at 3 GHz).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from functools import lru_cache
+from typing import Dict, Mapping, Tuple
 
 import numpy as np
 
@@ -75,6 +76,22 @@ def leakage_power(config: MachineConfig) -> float:
 def clock_peak(config: MachineConfig) -> float:
     """Peak clock-tree power (W) for a configuration."""
     return 9.0 + 14.0 * (config.fetch_width / 8.0) ** 0.8
+
+
+@lru_cache(maxsize=4096)
+def _interval_constants(config: MachineConfig,
+                        ) -> Tuple[Tuple[float, ...], float, float]:
+    """Per-config ``(energies by STRUCTURES, clock peak, leakage)``.
+
+    The scalar constants :meth:`WattchModel.power_from_counters` needs
+    every interval, computed once per configuration through the public
+    functions above (so the cache can never drift from them).
+    :class:`~repro.uarch.params.MachineConfig` is frozen, hence a valid
+    cache key.
+    """
+    energies = structure_energies(config)
+    return (tuple(energies[s] for s in STRUCTURES), clock_peak(config),
+            leakage_power(config))
 
 
 def clock_power(config: MachineConfig, utilization) -> np.ndarray:
@@ -192,17 +209,22 @@ class WattchModel:
 
         ``counters`` maps structure names to access counts; unknown
         structures are ignored so the detailed simulator can pass its
-        full counter set.
+        full counter set.  Called once per simulated interval per core,
+        so the per-config constants (the ``**``-heavy energy, leakage
+        and clock-peak expressions) are memoized — the cached values
+        come from the exact public functions, so the result stays
+        bit-identical to computing them inline.
         """
+        energies, peak, leakage = _interval_constants(self.config)
         if cycles <= 0:
-            return leakage_power(self.config)
-        energies = structure_energies(self.config)
-        nj = sum(energies[s] * counters.get(s, 0.0) for s in STRUCTURES)
+            return leakage
+        nj = sum(e * counters.get(s, 0.0)
+                 for s, e in zip(STRUCTURES, energies))
         dynamic = nj / cycles * self.config.frequency_ghz
         ipc = counters.get("instructions", 0.0) / cycles
         util = ipc / self.config.fetch_width
-        return float(dynamic + clock_power(self.config, util)
-                     + leakage_power(self.config))
+        clock = peak * (0.25 + 0.75 * np.clip(util, 0.0, 1.0))
+        return float(dynamic + clock + leakage)
 
     def peak_power(self) -> float:
         """Rough all-structures-busy power (W) for sanity checks."""

@@ -364,3 +364,152 @@ class DetailedSimulator:
             components={"mispredict_rate": mispredicts,
                         "dvm_throttled_frac": throttled},
         )
+
+
+def run_detailed_group(jobs, engine: Optional[str] = None):
+    """Run a group of detailed jobs sharing one workload signature as
+    one batched interval stream.
+
+    The batched twin of ``[job.run() for job in jobs]``: every member's
+    core state is stacked into one
+    :class:`~repro.uarch.pipeline_kernel.BatchKernelState` and each
+    interval advances the whole group through a single
+    :func:`~repro.uarch.pipeline_kernel.step_interval_batch` call
+    against the group's one synthesized trace.  Everything *around* the
+    kernel stays per-member and exactly mirrors
+    :meth:`DetailedSimulator.run`: checkpoint resolution/resume/save
+    uses each job's own settings and content-hash path in the unchanged
+    ``ckpt/v2`` format (a member's :class:`KernelState` arrays are
+    views into the stacked batch, so its per-core snapshot slices out
+    unchanged), warmup runs only for members starting fresh (resumed
+    members sit out via the ``active`` mask — ragged groups are the
+    normal case after a partial crash), and power / AVF / mispredict
+    post-processing calls the exact scalar model code per member.
+
+    ``engine`` selects the stepper: ``None``/``"auto"`` and ``"batch"``
+    use the compiled ``prange`` kernel when numba is importable (plain
+    loop otherwise); ``"batch-interp"`` forces the plain loop (the
+    parity-test configuration); ``"per-job"`` bypasses batching
+    entirely.  All engines are bit-identical.  Results align with
+    ``jobs``.
+    """
+    from repro.uarch.pipeline import COUNTER_KEYS, OutOfOrderCore
+    from repro.uarch.pipeline_kernel import (
+        ACE_IQ, ACE_LSQ, ACE_REGFILE, ACE_ROB, OI_MISPREDICTS, OI_THROTTLED,
+        BatchKernelState, run_interval_on_batch)
+    from repro.uarch.simulator import SimulationResult
+
+    jobs = list(jobs)
+    if engine in (None, "auto"):
+        engine = "batch"
+    if engine == "per-job":
+        return [job.run() for job in jobs]
+    if engine not in ("batch", "batch-interp"):
+        raise SimulationError(
+            f"unknown detailed group engine {engine!r}; choose from "
+            f"(None, 'auto', 'batch', 'batch-interp', 'per-job')"
+        )
+    compiled = engine == "batch"
+    if not jobs:
+        return []
+
+    lead = jobs[0]
+    n_samples = lead.n_samples
+    ips = lead.instructions_per_sample
+    for job in jobs:
+        if (job.backend != "detailed" or job.benchmark != lead.benchmark
+                or job.n_samples != n_samples
+                or job.instructions_per_sample != ips):
+            raise SimulationError(
+                "detailed group members must share benchmark, n_samples "
+                "and instructions_per_sample"
+            )
+    workload = (lead.workload if lead.workload is not None
+                else get_benchmark(lead.benchmark))
+
+    members = []
+    for job in jobs:
+        dvm = DetailedSimulator(job.config).dvm_controller
+        every, directory = resolve_checkpoint_settings(
+            job.checkpoint_every, job.checkpoint_dir)
+        path = meta = None
+        if every:
+            path = Path(directory) / f"{job.key()}.ckpt.npz"
+            meta = _checkpoint_meta(workload, job.config, n_samples, ips,
+                                    True, dvm)
+        core = None
+        start = 0
+        if path is not None:
+            resumed = _load_checkpoint(path, meta, n_samples, job.config, dvm)
+            if resumed is not None:
+                core, traces, start = resumed
+        if core is None:
+            core = OutOfOrderCore(job.config, dvm=dvm)
+            traces = [np.empty(n_samples) for _ in _TRACE_FIELDS]
+        members.append({
+            "job": job, "core": core, "traces": traces, "start": start,
+            "every": every, "path": path, "meta": meta,
+            "power": WattchModel(job.config), "avf": AVFModel(job.config),
+        })
+
+    cores = [member["core"] for member in members]
+    batch = BatchKernelState([core._enter_kernel_mode() for core in cores])
+
+    # Unmeasured warmup interval — fresh members only (resumed cores
+    # already warmed before their snapshot was taken).
+    fresh = np.array([1 if member["start"] == 0 else 0
+                      for member in members], dtype=np.uint8)
+    if fresh.any():
+        warm = synthesize_interval(workload, 0, n_samples, ips, seed=1)
+        run_interval_on_batch(cores, batch, warm, fresh, compiled=compiled)
+
+    first = min(member["start"] for member in members)
+    for i in range(first, n_samples):
+        trace = synthesize_interval(workload, i, n_samples, ips)
+        active = np.array([1 if member["start"] <= i else 0
+                           for member in members], dtype=np.uint8)
+        out_counters, out_ace, out_ints, cycles = run_interval_on_batch(
+            cores, batch, trace, active, compiled=compiled)
+        n_instr = len(trace)
+        for b, member in enumerate(members):
+            if not active[b]:
+                continue
+            counters = {key: float(out_counters[b, index])
+                        for index, key in enumerate(COUNTER_KEYS)}
+            ace = {"iq": float(out_ace[b, ACE_IQ]),
+                   "rob": float(out_ace[b, ACE_ROB]),
+                   "lsq": float(out_ace[b, ACE_LSQ]),
+                   "regfile": float(out_ace[b, ACE_REGFILE])}
+            n_cycles = int(cycles[b])
+            cpi, power, avf, iq_avf, mispredicts, throttled = member["traces"]
+            cpi[i] = n_cycles / n_instr
+            power[i] = member["power"].power_from_counters(counters, n_cycles)
+            structure_avf = member["avf"].avf_from_counters(ace, n_cycles)
+            avf[i] = structure_avf["processor"]
+            iq_avf[i] = structure_avf["iq"]
+            mispredicts[i] = int(out_ints[b, OI_MISPREDICTS]) / n_instr
+            throttled[i] = int(out_ints[b, OI_THROTTLED]) / n_cycles
+            if (member["every"] and (i + 1) % member["every"] == 0
+                    and i + 1 < n_samples):
+                _save_checkpoint(member["path"], member["meta"], i + 1,
+                                 member["core"], tuple(member["traces"]))
+
+    results = []
+    for member in members:
+        if member["path"] is not None:
+            try:
+                member["path"].unlink()  # the run completed; snapshot stale
+            except OSError:
+                pass
+        cpi, power, avf, iq_avf, mispredicts, throttled = member["traces"]
+        results.append(SimulationResult(
+            benchmark=workload.name,
+            config=member["job"].config,
+            n_samples=n_samples,
+            backend="detailed",
+            traces={"cpi": cpi, "power": power, "avf": avf,
+                    "iq_avf": iq_avf},
+            components={"mispredict_rate": mispredicts,
+                        "dvm_throttled_frac": throttled},
+        ))
+    return results

@@ -31,6 +31,7 @@ than an error (``jit_available()`` reports which case you are in).
 from __future__ import annotations
 
 import os
+from pathlib import Path
 from typing import Optional
 
 import numpy as np
@@ -38,6 +39,10 @@ import numpy as np
 #: Process-wide JIT override set by :func:`set_jit` (``None`` = consult
 #: the ``REPRO_JIT`` environment).
 _JIT_OVERRIDE: Optional[bool] = None
+
+#: Process-wide thread-count override set by :func:`set_jit_threads`
+#: (``None`` = consult the ``REPRO_JIT_THREADS`` environment).
+_THREADS_OVERRIDE: Optional[int] = None
 
 #: Lazily-resolved compiled scan: ``None`` = not attempted yet,
 #: ``False`` = numba unavailable (or compilation failed), otherwise the
@@ -71,12 +76,93 @@ def jit_requested() -> bool:
     return _env_enabled()
 
 
-#: Per-function compiled-dispatcher cache for :func:`compile_njit`.
+def set_jit_threads(n: Optional[int]) -> None:
+    """Set the process-wide kernel thread count (``None`` restores env
+    lookup).
+
+    Used by the CLI's ``--jit-threads`` flag; like :func:`set_jit`, this
+    is module state rather than an environment mutation, so the decision
+    stays local to the dispatching process and never leaks into pool
+    workers (which re-resolve ``REPRO_JIT_THREADS`` from *their*
+    environment).
+    """
+    global _THREADS_OVERRIDE
+    if n is None:
+        _THREADS_OVERRIDE = None
+        return
+    n = int(n)
+    if n < 1:
+        raise ValueError(f"jit threads must be >= 1, got {n}")
+    _THREADS_OVERRIDE = n
+
+
+def jit_threads() -> int:
+    """Threads the batched detailed kernel may ``prange`` across.
+
+    Resolution order: :func:`set_jit_threads` override, then the
+    ``REPRO_JIT_THREADS`` environment, then **1**.  The conservative
+    default matters: executors already run one worker per CPU, so a
+    worker quietly spawning a thread team would oversubscribe the
+    machine — multi-threaded stepping is for single-process batched
+    runs that ask for it.  Thread count never changes results: batch
+    rows are fully independent (see
+    :mod:`repro.uarch.pipeline_kernel`), so this is a speed knob only.
+    """
+    if _THREADS_OVERRIDE is not None:
+        return _THREADS_OVERRIDE
+    raw = os.environ.get("REPRO_JIT_THREADS", "").strip()
+    if not raw:
+        return 1
+    try:
+        n = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_JIT_THREADS must be an integer >= 1, got {raw!r}"
+        )
+    return max(1, n)
+
+
+def apply_jit_threads() -> int:
+    """Apply :func:`jit_threads` to numba's runtime; returns the count
+    actually in force (clamped to numba's launch-time maximum, 1 when
+    numba is absent)."""
+    n = jit_threads()
+    try:
+        import numba
+
+        n = max(1, min(n, int(numba.config.NUMBA_NUM_THREADS)))
+        numba.set_num_threads(n)
+        return n
+    except Exception:
+        return 1
+
+
+def jit_cache_dir() -> Optional[str]:
+    """Directory for numba's persistent on-disk compilation cache.
+
+    ``REPRO_JIT_CACHE_DIR`` wins; else ``$REPRO_CACHE_DIR/numba-cache``
+    when a result-cache root is configured; else ``None`` (in-memory
+    compilation only).  With a directory pinned, every process —
+    including forked pool workers — loads the detailed-pipeline
+    mega-function from disk instead of recompiling it, which is the
+    difference between milliseconds and tens of seconds of warm-up per
+    worker.
+    """
+    explicit = os.environ.get("REPRO_JIT_CACHE_DIR", "").strip()
+    if explicit:
+        return explicit
+    cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    return str(Path(cache_dir) / "numba-cache") if cache_dir else None
+
+
+#: Compiled-dispatcher cache for :func:`compile_njit`, keyed by
+#: ``(function, jit flags)`` — one compilation per distinct signature,
+#: however often engines alternate or :func:`set_jit` toggles.
 _NJIT_CACHE: dict = {}
 
 
-def compile_njit(fn):
-    """``numba.njit(fn)``, compiled lazily once per function.
+def compile_njit(fn, parallel: bool = False):
+    """``numba.njit(fn)``, compiled lazily once per ``(fn, flags)``.
 
     Returns the dispatcher-wrapped function, or ``False`` when numba is
     not importable (or compilation fails) — callers then run ``fn``
@@ -84,16 +170,34 @@ def compile_njit(fn):
     without ``fastmath`` so IEEE ordering (and therefore bit-identical
     output) is preserved; shared by the EWMA scan and the detailed
     pipeline kernel (:mod:`repro.uarch.pipeline_kernel`).
+
+    The dispatcher is memoized under ``(fn, parallel)``: engine
+    alternation and :func:`set_jit` toggling only change *dispatch*,
+    never re-trigger compilation.  When :func:`jit_cache_dir` resolves
+    a directory, compilation also lands in numba's on-disk cache there
+    (``cache=True``), so fresh processes skip the compile entirely.
     """
-    cached = _NJIT_CACHE.get(fn)
+    key = (fn, parallel)
+    cached = _NJIT_CACHE.get(key)
     if cached is None:
         try:
             import numba
 
-            cached = numba.njit(cache=False)(fn)
+            cache_dir = jit_cache_dir()
+            use_cache = False
+            if cache_dir:
+                try:
+                    Path(cache_dir).mkdir(parents=True, exist_ok=True)
+                    # Programmatic pin (numba reads this at cache-file
+                    # resolution time); the environment is never mutated.
+                    numba.config.CACHE_DIR = cache_dir
+                    use_cache = True
+                except OSError:
+                    pass  # unwritable cache root: compile in memory
+            cached = numba.njit(cache=use_cache, parallel=parallel)(fn)
         except Exception:
             cached = False
-        _NJIT_CACHE[fn] = cached
+        _NJIT_CACHE[key] = cached
     return cached
 
 

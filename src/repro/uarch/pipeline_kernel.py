@@ -1076,18 +1076,15 @@ class KernelState:
         }
 
 
-def run_interval_on_state(core, state: KernelState, trace,
-                          compiled: bool = True):
-    """Advance ``core`` one interval through the array kernel.
+def load_interval_scalars(core, state: KernelState) -> None:
+    """Copy the core's interval scalars (cycle, DVM controller state)
+    into the packed ``sc``/``fc``/``cfg`` vectors before a step.
 
-    Copies the interval scalars (cycle, DVM controller state) from the
-    core object into the packed state vectors, runs
-    :func:`step_interval` (compiled when ``compiled`` and numba is
-    importable, silently uncompiled otherwise), and copies them back.
-    Returns the same :class:`~repro.uarch.pipeline.IntervalStats` the
-    interpreter would.
+    Shared by the scalar (:func:`run_interval_on_state`) and batched
+    (:func:`run_interval_on_batch`) drivers so the two paths cannot
+    drift: the exact same assignments, in the same order.
     """
-    from repro.uarch.pipeline import _MAX_CPI, COUNTER_KEYS, IntervalStats
+    from repro.uarch.pipeline import _MAX_CPI
 
     cfg_i, cfg_f, sc, fc = state.cfg_i, state.cfg_f, state.sc, state.fc
     dvm = core.dvm
@@ -1103,20 +1100,59 @@ def run_interval_on_state(core, state: KernelState, trace,
         fc[FC_WQ_RATIO] = dvm.wq_ratio
         sc[SC_DVM_TRIGGERS] = dvm.trigger_count
         sc[SC_DVM_SAMPLES] = dvm.sample_count
-    start_cycle = core._cycle
-    sc[SC_CYCLE] = start_cycle
+    sc[SC_CYCLE] = core._cycle
     sc[SC_DVM_WINDOW_CYCLES] = core._dvm_window_cycles
     sc[SC_LAST_WAITING] = core._last_waiting
     sc[SC_LAST_READY] = core._last_ready
     fc[FC_DVM_WINDOW_ACE] = core._dvm_window_ace
 
-    t_op = np.ascontiguousarray(trace.op, dtype=np.int64)
-    t_src1 = np.ascontiguousarray(trace.src1_dist, dtype=np.int64)
-    t_src2 = np.ascontiguousarray(trace.src2_dist, dtype=np.int64)
-    t_addr = np.ascontiguousarray(trace.address, dtype=np.int64)
-    t_pc = np.ascontiguousarray(trace.pc, dtype=np.int64)
-    t_taken = np.ascontiguousarray(trace.taken, dtype=np.uint8)
-    t_ace = np.ascontiguousarray(trace.ace, dtype=np.uint8)
+
+def store_interval_scalars(core, state: KernelState, n: int) -> None:
+    """Copy stepped ``sc``/``fc`` scalars back onto the core object
+    (the inverse of :func:`load_interval_scalars`)."""
+    sc, fc = state.sc, state.fc
+    core._global_index += n
+    core._cycle = int(sc[SC_CYCLE])
+    core._last_waiting = int(sc[SC_LAST_WAITING])
+    core._last_ready = int(sc[SC_LAST_READY])
+    core._dvm_window_ace = float(fc[FC_DVM_WINDOW_ACE])
+    core._dvm_window_cycles = int(sc[SC_DVM_WINDOW_CYCLES])
+    dvm = core.dvm
+    if dvm is not None:
+        dvm.wq_ratio = float(fc[FC_WQ_RATIO])
+        dvm.trigger_count = int(sc[SC_DVM_TRIGGERS])
+        dvm.sample_count = int(sc[SC_DVM_SAMPLES])
+
+
+def pack_trace(trace):
+    """The seven contiguous, kernel-dtyped trace arrays for one interval."""
+    return (np.ascontiguousarray(trace.op, dtype=np.int64),
+            np.ascontiguousarray(trace.src1_dist, dtype=np.int64),
+            np.ascontiguousarray(trace.src2_dist, dtype=np.int64),
+            np.ascontiguousarray(trace.address, dtype=np.int64),
+            np.ascontiguousarray(trace.pc, dtype=np.int64),
+            np.ascontiguousarray(trace.taken, dtype=np.uint8),
+            np.ascontiguousarray(trace.ace, dtype=np.uint8))
+
+
+def run_interval_on_state(core, state: KernelState, trace,
+                          compiled: bool = True):
+    """Advance ``core`` one interval through the array kernel.
+
+    Copies the interval scalars (cycle, DVM controller state) from the
+    core object into the packed state vectors, runs
+    :func:`step_interval` (compiled when ``compiled`` and numba is
+    importable, silently uncompiled otherwise), and copies them back.
+    Returns the same :class:`~repro.uarch.pipeline.IntervalStats` the
+    interpreter would.
+    """
+    from repro.uarch.pipeline import _MAX_CPI, COUNTER_KEYS, IntervalStats
+
+    cfg_i, cfg_f, sc, fc = state.cfg_i, state.cfg_f, state.sc, state.fc
+    start_cycle = core._cycle
+    load_interval_scalars(core, state)
+
+    t_op, t_src1, t_src2, t_addr, t_pc, t_taken, t_ace = pack_trace(trace)
 
     out_counters = np.zeros(N_CTR, dtype=np.float64)
     out_ace = np.zeros(N_ACE, dtype=np.float64)
@@ -1141,19 +1177,9 @@ def run_interval_on_state(core, state: KernelState, trace,
             f"interval exceeded {_MAX_CPI} CPI — model deadlock"
         )
 
-    n = len(trace)
-    core._global_index += n
-    core._cycle = int(sc[SC_CYCLE])
-    core._last_waiting = int(sc[SC_LAST_WAITING])
-    core._last_ready = int(sc[SC_LAST_READY])
-    core._dvm_window_ace = float(fc[FC_DVM_WINDOW_ACE])
-    core._dvm_window_cycles = int(sc[SC_DVM_WINDOW_CYCLES])
-    if dvm is not None:
-        dvm.wq_ratio = float(fc[FC_WQ_RATIO])
-        dvm.trigger_count = int(sc[SC_DVM_TRIGGERS])
-        dvm.sample_count = int(sc[SC_DVM_SAMPLES])
+    store_interval_scalars(core, state, len(trace))
 
-    stats = IntervalStats(instructions=n)
+    stats = IntervalStats(instructions=len(trace))
     stats.cycles = core._cycle - start_cycle
     stats.branch_mispredicts = int(out_ints[OI_MISPREDICTS])
     stats.dvm_throttled_cycles = int(out_ints[OI_THROTTLED])
@@ -1168,3 +1194,225 @@ def run_interval_on_state(core, state: KernelState, trace,
         "regfile": float(out_ace[ACE_REGFILE]),
     }
     return stats
+
+
+# ----------------------------------------------------------------------
+# Batched stepping: a leading config axis B over every state array
+# ----------------------------------------------------------------------
+
+# Column layout of the per-core length matrix ``lens`` passed to
+# :func:`step_interval_batch` — per-core structure sizes differ across
+# configs, so stacked arrays are padded to the group maximum and every
+# kernel call slices each row back to its true extent (the scalar
+# kernel derives geometry from slice lengths, e.g. TLB entry counts
+# from ``itlb_pages.shape[0]``).
+LEN_IL1 = 0
+LEN_DL1 = 1
+LEN_L2 = 2
+LEN_BTB = 3
+LEN_ITLB = 4
+LEN_DTLB = 5
+LEN_GSHARE = 6
+LEN_ROB = 7
+LEN_IQ = 8
+LEN_MISS = 9
+N_LEN = 10
+
+
+def step_interval_batch(t_op, t_src1, t_src2, t_addr, t_pc, t_taken, t_ace,
+                        active, lens, cfg_i, cfg_f,
+                        il1_tags, il1_stamps, dl1_tags, dl1_stamps,
+                        l2_tags, l2_stamps, btb_tags, btb_stamps,
+                        itlb_pages, itlb_stamps, dtlb_pages, dtlb_stamps,
+                        gshare_counters,
+                        rob_local, rob_op, rob_ace, rob_ismem, rob_issued,
+                        rob_ready, rob_misp, iq_slots, miss_until,
+                        sc, fc, out_counters, out_ace, out_ints):
+    """Advance every active core of a group one interval: the batched
+    twin of :func:`step_interval` with a leading config axis ``B``.
+
+    All state arrays are stacked ``(B, width)`` matrices (padded to the
+    group's widest config; padding is never read because each row is
+    sliced to its ``lens`` extent before the scalar body sees it), the
+    seven trace arrays are shared read-only across the group, and
+    ``active`` masks rows out of a step (ragged checkpoint resumes,
+    fresh-core-only warmup).  This plain-``range`` loop is the
+    interpreter fallback; the compiled twin in
+    :mod:`repro.uarch._pipeline_batch_numba` runs the identical body
+    under ``numba.prange``.  Rows are fully independent — each loop
+    iteration reads/writes only row ``b`` slices plus the shared
+    read-only trace, and :func:`step_interval` allocates its per-call
+    scratch internally — so parallel execution is bit-identical to this
+    serial loop at any thread count.
+    """
+    for b in range(active.shape[0]):
+        if active[b] == 1:
+            step_interval(
+                t_op, t_src1, t_src2, t_addr, t_pc, t_taken, t_ace,
+                cfg_i[b], cfg_f[b],
+                il1_tags[b, :lens[b, LEN_IL1]],
+                il1_stamps[b, :lens[b, LEN_IL1]],
+                dl1_tags[b, :lens[b, LEN_DL1]],
+                dl1_stamps[b, :lens[b, LEN_DL1]],
+                l2_tags[b, :lens[b, LEN_L2]],
+                l2_stamps[b, :lens[b, LEN_L2]],
+                btb_tags[b, :lens[b, LEN_BTB]],
+                btb_stamps[b, :lens[b, LEN_BTB]],
+                itlb_pages[b, :lens[b, LEN_ITLB]],
+                itlb_stamps[b, :lens[b, LEN_ITLB]],
+                dtlb_pages[b, :lens[b, LEN_DTLB]],
+                dtlb_stamps[b, :lens[b, LEN_DTLB]],
+                gshare_counters[b, :lens[b, LEN_GSHARE]],
+                rob_local[b, :lens[b, LEN_ROB]],
+                rob_op[b, :lens[b, LEN_ROB]],
+                rob_ace[b, :lens[b, LEN_ROB]],
+                rob_ismem[b, :lens[b, LEN_ROB]],
+                rob_issued[b, :lens[b, LEN_ROB]],
+                rob_ready[b, :lens[b, LEN_ROB]],
+                rob_misp[b, :lens[b, LEN_ROB]],
+                iq_slots[b, :lens[b, LEN_IQ]],
+                miss_until[b, :lens[b, LEN_MISS]],
+                sc[b], fc[b], out_counters[b], out_ace[b], out_ints[b])
+
+
+#: Lazily-resolved compiled batch stepper (``None`` = not attempted,
+#: ``False`` = numba unavailable, else the prange dispatcher).
+_BATCH_STEP = None
+
+
+def compiled_batch_step():
+    """The njit-compiled ``prange`` batch stepper (``False`` if no numba)."""
+    global _BATCH_STEP
+    if _BATCH_STEP is None:
+        try:
+            from repro.uarch import _pipeline_batch_numba
+
+            _BATCH_STEP = _pipeline_batch_numba.step_batch
+        except Exception:
+            _BATCH_STEP = False
+    return _BATCH_STEP
+
+
+#: Stacked per-core state fields: (attribute, lens column).  Tag/page
+#: arrays pad with -1 (an always-empty way) purely for debuggability —
+#: padding is unreachable either way, since every kernel call slices
+#: each row to its ``lens`` extent first.
+_BATCH_FIELDS = (
+    ("il1_tags", LEN_IL1, -1), ("il1_stamps", LEN_IL1, 0),
+    ("dl1_tags", LEN_DL1, -1), ("dl1_stamps", LEN_DL1, 0),
+    ("l2_tags", LEN_L2, -1), ("l2_stamps", LEN_L2, 0),
+    ("btb_tags", LEN_BTB, -1), ("btb_stamps", LEN_BTB, 0),
+    ("itlb_pages", LEN_ITLB, -1), ("itlb_stamps", LEN_ITLB, 0),
+    ("dtlb_pages", LEN_DTLB, -1), ("dtlb_stamps", LEN_DTLB, 0),
+    ("gshare_counters", LEN_GSHARE, 0),
+    ("rob_local", LEN_ROB, 0), ("rob_op", LEN_ROB, 0),
+    ("rob_ace", LEN_ROB, 0), ("rob_ismem", LEN_ROB, 0),
+    ("rob_issued", LEN_ROB, 0), ("rob_ready", LEN_ROB, 0),
+    ("rob_misp", LEN_ROB, 0),
+    ("iq_slots", LEN_IQ, 0), ("miss_until", LEN_MISS, 0),
+    ("sc", None, 0), ("fc", None, 0), ("cfg_i", None, 0),
+    ("cfg_f", None, 0),
+)
+
+
+class BatchKernelState:
+    """Stacked ``(B, width)`` state for a group of per-core states.
+
+    Construction *adopts* the member :class:`KernelState` objects:
+    every per-core array is copied into a row prefix of one stacked
+    matrix, and the member's attribute is rebound to that row-prefix
+    **view**.  From then on the scalar and batched steppers operate on
+    the same memory — a member core can still run a scalar interval,
+    export :meth:`KernelState.export_structures` for a checkpoint, or
+    round-trip a snapshot, and the batch sees the result (this is how
+    per-core checkpoint slices stay in the unchanged ckpt/v2 format).
+    Padding beyond a row's true extent is never read: ``lens`` records
+    each core's structure sizes and every stepper slices rows back to
+    them.
+    """
+
+    def __init__(self, states):
+        self.states = list(states)
+        if not self.states:
+            raise SimulationError("batch of zero kernel states")
+        n_cores = len(self.states)
+        lens = np.zeros((n_cores, N_LEN), dtype=np.int64)
+        for b, state in enumerate(self.states):
+            lens[b, LEN_IL1] = state.il1_tags.shape[0]
+            lens[b, LEN_DL1] = state.dl1_tags.shape[0]
+            lens[b, LEN_L2] = state.l2_tags.shape[0]
+            lens[b, LEN_BTB] = state.btb_tags.shape[0]
+            lens[b, LEN_ITLB] = state.itlb_pages.shape[0]
+            lens[b, LEN_DTLB] = state.dtlb_pages.shape[0]
+            lens[b, LEN_GSHARE] = state.gshare_counters.shape[0]
+            lens[b, LEN_ROB] = state.rob_local.shape[0]
+            lens[b, LEN_IQ] = state.iq_slots.shape[0]
+            lens[b, LEN_MISS] = state.miss_until.shape[0]
+        self.lens = lens
+        for attr, _, pad in _BATCH_FIELDS:
+            rows = [getattr(state, attr) for state in self.states]
+            width = max(row.shape[0] for row in rows)
+            stacked = np.full((n_cores, width), pad, dtype=rows[0].dtype)
+            for b, row in enumerate(rows):
+                stacked[b, :row.shape[0]] = row
+                setattr(self.states[b], attr, stacked[b, :row.shape[0]])
+            setattr(self, attr, stacked)
+
+
+def run_interval_on_batch(cores, batch: BatchKernelState, trace, active,
+                          compiled: bool = True):
+    """Advance every active core one interval in one batched call.
+
+    The batch analogue of :func:`run_interval_on_state`: per-core
+    interval scalars are loaded/stored through the same helpers, the
+    whole group steps through one :func:`step_interval_batch` call
+    (compiled with ``prange`` when ``compiled`` and numba is
+    importable, the plain loop otherwise), and the raw per-core outputs
+    come back as ``(out_counters, out_ace, out_ints, cycles)`` stacked
+    arrays for the caller to post-process with the exact scalar power /
+    AVF model calls.  ``active`` is a ``(B,)`` uint8 mask; inactive
+    rows are untouched.
+    """
+    from repro.uarch.jit import apply_jit_threads
+    from repro.uarch.pipeline import _MAX_CPI
+
+    states = batch.states
+    for b, core in enumerate(cores):
+        if active[b]:
+            load_interval_scalars(core, states[b])
+
+    t_op, t_src1, t_src2, t_addr, t_pc, t_taken, t_ace = pack_trace(trace)
+    n_cores = len(cores)
+    out_counters = np.zeros((n_cores, N_CTR), dtype=np.float64)
+    out_ace = np.zeros((n_cores, N_ACE), dtype=np.float64)
+    out_ints = np.zeros((n_cores, N_OI), dtype=np.int64)
+    start_cycles = batch.sc[:, SC_CYCLE].copy()
+
+    step = compiled_batch_step() if compiled else None
+    if step:
+        apply_jit_threads()
+    else:
+        step = step_interval_batch
+    step(t_op, t_src1, t_src2, t_addr, t_pc, t_taken, t_ace,
+         active, batch.lens, batch.cfg_i, batch.cfg_f,
+         batch.il1_tags, batch.il1_stamps, batch.dl1_tags, batch.dl1_stamps,
+         batch.l2_tags, batch.l2_stamps, batch.btb_tags, batch.btb_stamps,
+         batch.itlb_pages, batch.itlb_stamps,
+         batch.dtlb_pages, batch.dtlb_stamps,
+         batch.gshare_counters,
+         batch.rob_local, batch.rob_op, batch.rob_ace, batch.rob_ismem,
+         batch.rob_issued, batch.rob_ready, batch.rob_misp, batch.iq_slots,
+         batch.miss_until, batch.sc, batch.fc,
+         out_counters, out_ace, out_ints)
+
+    n = len(trace)
+    for b, core in enumerate(cores):
+        if active[b]:
+            if out_ints[b, OI_STATUS] != 0:
+                raise SimulationError(
+                    f"interval exceeded {_MAX_CPI} CPI — model deadlock"
+                )
+            store_interval_scalars(core, states[b], n)
+
+    cycles = batch.sc[:, SC_CYCLE] - start_cycles
+    return out_counters, out_ace, out_ints, cycles

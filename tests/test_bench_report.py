@@ -1,0 +1,80 @@
+"""Tests for tools/bench_report.py (BENCH_*.json collation + gating)."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tools"))
+
+import bench_report
+
+
+def _write(directory, name, record):
+    (directory / name).write_text(json.dumps(record))
+
+
+def test_passing_records_produce_zero_failures(tmp_path):
+    _write(tmp_path, "BENCH_kernel.json",
+           {"speedup": 12.0, "min_speedup": 10.0, "rows_bit_identical": True,
+            "jit_available": False})
+    _write(tmp_path, "BENCH_shm_transport.json",
+           {"bench": "shm_transport", "transport_speedup": 2.5,
+            "bit_identical": True})
+    summary = bench_report.build_summary(tmp_path)
+    assert summary["failures"] == 0
+    assert summary["checks_run"] == 4
+    missing = {s["file"] for s in summary["skipped"]}
+    assert "BENCH_remote_executor.json" in missing
+
+
+def test_regressed_speedup_fails(tmp_path):
+    _write(tmp_path, "BENCH_kernel.json",
+           {"speedup": 6.0, "min_speedup": 10.0, "rows_bit_identical": True})
+    summary = bench_report.build_summary(tmp_path)
+    assert summary["failures"] == 1
+    assert summary["failed_checks"][0]["check"] == "kernel.speedup"
+
+
+def test_batched_floor_gated_on_enforcement_flag(tmp_path):
+    record = {
+        "bench": "detailed_kernel", "bit_identical_fresh": True,
+        "bit_identical_resumed": True, "min_speedup_enforced": None,
+        "batched": {"bit_identical": True, "speedup": 0.9,
+                    "resumed_speedup": 0.8, "min_speedup_enforced": None},
+    }
+    _write(tmp_path, "BENCH_detailed_kernel.json", record)
+    assert bench_report.build_summary(tmp_path)["failures"] == 0
+
+    record["batched"]["min_speedup_enforced"] = 3.0
+    _write(tmp_path, "BENCH_detailed_kernel.json", record)
+    summary = bench_report.build_summary(tmp_path)
+    failed = {c["check"] for c in summary["failed_checks"]}
+    assert failed == {"detailed_kernel.batched.speedup",
+                      "detailed_kernel.batched.resumed_speedup"}
+
+
+def test_corrupt_file_is_a_failure(tmp_path):
+    (tmp_path / "BENCH_kernel.json").write_text("{not json")
+    summary = bench_report.build_summary(tmp_path)
+    assert summary["failures"] == 1
+
+
+def test_main_writes_summary_and_sets_exit_code(tmp_path):
+    _write(tmp_path, "BENCH_active_dse.json",
+           {"bench": "active_dse", "active_budget_fraction": 0.4})
+    out = tmp_path / "BENCH_SUMMARY.json"
+    assert bench_report.main(["--dir", str(tmp_path), "--out", str(out)]) == 0
+    assert json.loads(out.read_text())["report"] == "bench_summary"
+
+    _write(tmp_path, "BENCH_active_dse.json",
+           {"bench": "active_dse", "active_budget_fraction": 0.9})
+    assert bench_report.main(["--dir", str(tmp_path), "--out", str(out)]) == 1
+
+
+def test_repo_records_pass_as_committed():
+    repo_root = Path(__file__).resolve().parents[1]
+    if not list(repo_root.glob("BENCH_*.json")):
+        pytest.skip("no benchmark records present")
+    assert bench_report.build_summary(repo_root)["failures"] == 0
